@@ -1,0 +1,103 @@
+"""X3 (extension) — perception accuracy: gestures and sound triangulation.
+
+Characterizes the two §9 perception services the way X2 characterizes the
+FIU: recognition accuracy vs input noise, and localization error vs
+microphone timing jitter.
+"""
+
+import numpy as np
+import pytest
+
+from repro.metrics import ResultTable
+from repro.services.gesture import (
+    GestureRecognitionDaemon,
+    _as_stroke,
+    make_gesture,
+    stroke_distance,
+)
+from repro.services.triangulation import simulate_sound_event, solve_tdoa
+
+SHAPES = ["circle", "line", "zigzag", "vee"]
+MICS = [(0.0, 0.0), (10.0, 0.0), (0.0, 8.0), (10.0, 8.0)]
+
+
+def test_x3_gesture_accuracy_vs_noise(benchmark, table_printer):
+    table = table_printer(ResultTable(
+        "X3: gesture recognition vs stroke noise (4 shapes x 25 trials)",
+        ["noise", "correct_%", "rejected_%", "confused_%"],
+    ))
+
+    class Classifier:
+        """Pure-matcher harness (no network needed for this curve)."""
+
+        def __init__(self, threshold=0.35):
+            self.threshold = threshold
+            self.templates = {s: _as_stroke(make_gesture(s)) for s in SHAPES}
+
+        def classify(self, stroke):
+            scored = sorted(
+                (stroke_distance(stroke, tpl), name)
+                for name, tpl in self.templates.items()
+            )
+            distance, name = scored[0]
+            return (name if distance <= self.threshold else None)
+
+    def run():
+        rows = []
+        clf = Classifier()
+        for noise in (0.02, 0.08, 0.2):
+            rng = np.random.default_rng(int(noise * 1000))
+            correct = rejected = confused = 0
+            trials = 25
+            for shape in SHAPES:
+                for _ in range(trials):
+                    stroke = _as_stroke(make_gesture(shape, rng=rng, noise=noise))
+                    got = clf.classify(stroke)
+                    if got == shape:
+                        correct += 1
+                    elif got is None:
+                        rejected += 1
+                    else:
+                        confused += 1
+            total = trials * len(SHAPES)
+            rows.append((noise, 100 * correct / total, 100 * rejected / total,
+                         100 * confused / total))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for noise, correct, rejected, confused in rows:
+        table.add(noise, round(correct, 1), round(rejected, 1), round(confused, 1))
+    # Shape: near-perfect at low noise; degrades gracefully (rejections
+    # grow before confusions do).
+    assert rows[0][1] > 95.0
+    assert rows[-1][3] < 15.0
+
+
+def test_x3_triangulation_error_vs_jitter(benchmark, table_printer):
+    table = table_printer(ResultTable(
+        "X3: sound localization error vs mic timing jitter (50 events)",
+        ["jitter_us", "mean_err_m", "p95_err_m"],
+    ))
+
+    def run():
+        rows = []
+        for jitter_us in (0.0, 50.0, 500.0):
+            rng = np.random.default_rng(int(jitter_us) + 7)
+            errors = []
+            for _ in range(50):
+                source = (rng.uniform(1, 9), rng.uniform(1, 7))
+                times = simulate_sound_event(source, MICS,
+                                             jitter_s=jitter_us * 1e-6, rng=rng)
+                position, _rms = solve_tdoa(np.array(MICS), np.array(times))
+                errors.append(float(np.hypot(*(np.array(position) - source))))
+            errors = np.array(errors)
+            rows.append((jitter_us, float(errors.mean()),
+                         float(np.percentile(errors, 95))))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for jitter, mean_err, p95_err in rows:
+        table.add(jitter, round(mean_err, 4), round(p95_err, 4))
+    assert rows[0][1] < 0.01          # exact timing -> cm accuracy
+    assert rows[1][1] < 0.5           # 50 µs jitter -> decimetres
+    assert rows[0][1] <= rows[1][1] <= rows[2][1]  # monotone in jitter

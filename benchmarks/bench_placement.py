@@ -1,0 +1,99 @@
+"""E6 — SAL/SRM placement vs random placement (Fig. 11, §4.2–4.4).
+
+Launch a burst of CPU-heavy applications through the SAL under both
+placement policies on a heterogeneous host pool; compare load balance
+(run-queue spread) and the makespan of a batch of finite jobs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.env import ACEEnvironment
+from repro.lang import ACECmdLine
+from repro.metrics import ResultTable
+
+
+def build_env(policy, seed=21):
+    env = ACEEnvironment(seed=seed, lease_duration=20.0)
+    env.add_infrastructure("infra", with_wss=False, with_idmon=False,
+                           sal_placement=policy, srm_poll_interval=1.0)
+    for name, speed in (("w1", 1600.0), ("w2", 800.0), ("w3", 800.0), ("w4", 400.0)):
+        env.add_workstation(name, room="lab", bogomips=speed)
+    env.boot()
+    env.run_for(2.5)
+    return env
+
+
+def launch_burst(env, n_jobs, job_args):
+    def go():
+        client = env.client(env.net.host("infra"), principal="batch")
+        conn = yield from client.connect(env.daemon("sal").address)
+        placements = []
+        for _ in range(n_jobs):
+            reply = yield from conn.call(
+                ACECmdLine("launchApp", app="cpu_spinner", args=job_args)
+            )
+            placements.append(reply.str("host"))
+            yield env.sim.timeout(1.0)  # jobs trickle in; SRM can observe
+        conn.close()
+        return placements
+
+    return env.run(go(), timeout=600.0)
+
+
+def test_e6_load_balance(benchmark, table_printer):
+    table = table_printer(ResultTable(
+        "E6: placement quality (12 persistent CPU jobs on 4+1 hosts)",
+        ["policy", "queue_std", "max_queue", "distinct_hosts"],
+    ))
+
+    def run():
+        rows = {}
+        for policy in ("srm", "random"):
+            env = build_env(policy)
+            placements = launch_burst(env, 12, "work=1200 interval=0.2")
+            env.run_for(5.0)
+            queues = [h.run_queue_length() + h.cpu.count
+                      for name, h in sorted(env.net.hosts.items())]
+            rows[policy] = (float(np.std(queues)), max(queues),
+                            len(set(placements)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for policy, (std, worst, distinct) in rows.items():
+        table.add(policy, round(std, 3), worst, distinct)
+    # Shape: resource-aware placement balances at least as well as random
+    # and avoids pathological pile-ups.
+    assert rows["srm"][1] <= rows["random"][1] + 1
+    assert rows["srm"][0] <= rows["random"][0] + 0.5
+
+
+def test_e6_makespan_finite_batch(benchmark, table_printer):
+    table = table_printer(ResultTable(
+        "E6: makespan of a finite batch (8 jobs x 2000 bogomips-s)",
+        ["policy", "makespan_s"],
+    ))
+
+    def run():
+        rows = {}
+        for policy in ("srm", "random"):
+            env = build_env(policy, seed=22)
+            t0 = env.sim.now
+            launch_burst(env, 8, "work=2000 interval=0.01 iterations=1")
+            # Wait for all spinners to finish.
+            deadline = env.sim.now + 120.0
+            while env.sim.now < deadline:
+                running = 0
+                for name, daemon in env.daemons.items():
+                    if name.startswith("hal."):
+                        running += sum(1 for a in daemon.apps.values() if a.running)
+                if running == 0:
+                    break
+                env.run_for(0.5)
+            rows[policy] = env.sim.now - t0
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for policy, makespan in rows.items():
+        table.add(policy, round(makespan, 2))
+    assert rows["srm"] <= rows["random"] * 1.35

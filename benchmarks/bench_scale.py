@@ -1,0 +1,75 @@
+"""E18 — scalability of the central services (Chapter 9's demand:
+"scalable to serve hundreds and even thousands of users").
+
+Closed-loop user populations drive the ASD/AUD session mix; report
+sustained throughput and latency percentiles per population size, looking
+for where the knee falls on one infrastructure host vs a beefier one.
+"""
+
+import pytest
+
+from repro.env import ACEEnvironment
+from repro.metrics import ResultTable
+from repro.workloads import user_session_workload
+
+
+def build(seed=80, cores=2, bogomips=1600.0):
+    env = ACEEnvironment(seed=seed, lease_duration=60.0)
+    env.add_infrastructure("infra", with_wss=False, with_idmon=False,
+                           bogomips=bogomips, cores=cores,
+                           srm_poll_interval=30.0)
+    env.add_workstation("clients", room="lab", bogomips=6400.0, cores=8,
+                        monitors=False)
+    env.boot()
+    return env
+
+
+def test_e18_users_sweep(benchmark, table_printer):
+    table = table_printer(ResultTable(
+        "E18: ASD+AUD session mix vs concurrent users (10 s window)",
+        ["users", "ops_done", "ops_per_s", "p50_ms", "p95_ms"],
+    ))
+
+    def run():
+        rows = []
+        for n_users in (25, 100, 400):
+            env = build(seed=80 + n_users)
+            recorder = user_session_workload(env, n_users=n_users, duration=10.0)
+            summary = recorder.summary()
+            rows.append((n_users, summary.count, summary.count / 10.0,
+                         summary.p50 * 1e3, summary.p95 * 1e3))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for n, done, rate, p50, p95 in rows:
+        table.add(n, done, round(rate, 1), round(p50, 3), round(p95, 3))
+    # Shape: throughput grows with offered load until the service
+    # saturates; tail latency grows monotonically.
+    assert rows[1][1] > rows[0][1]
+    assert rows[-1][4] >= rows[0][4]
+    # Even at 400 users the environment still serves everyone.
+    assert rows[-1][1] > 0
+
+
+def test_e18_faster_infrastructure_moves_the_knee(benchmark, table_printer):
+    table = table_printer(ResultTable(
+        "E18: infrastructure sizing at 200 users",
+        ["infra", "ops_done", "p95_ms"],
+    ))
+
+    def run():
+        rows = []
+        for label, cores, speed in (("1x800 bogomips", 1, 800.0),
+                                    ("4x3200 bogomips", 4, 3200.0)):
+            env = build(seed=90, cores=cores, bogomips=speed)
+            recorder = user_session_workload(env, n_users=200, duration=8.0)
+            summary = recorder.summary()
+            rows.append((label, summary.count, summary.p95 * 1e3))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for label, done, p95 in rows:
+        table.add(label, done, round(p95, 3))
+    slow, fast = rows
+    assert fast[1] >= slow[1]       # more capacity -> at least as much work
+    assert fast[2] <= slow[2] * 1.2  # and no worse tail

@@ -1,0 +1,101 @@
+"""E12–E15 — the Chapter 7 scenarios as measured experiments
+(Figs. 18–19: the paper runs these qualitatively; we time every hop).
+"""
+
+import pytest
+
+from repro.env.scenarios import (
+    scenario_1_new_user,
+    scenario_2_identification,
+    scenario_3_workspace_display,
+    scenario_4_multiple_workspaces,
+    scenario_5_devices,
+    standard_environment,
+)
+from repro.metrics import ResultTable
+
+
+def test_e12_new_user_provisioning(benchmark, table_printer):
+    table = table_printer(ResultTable(
+        "E12 (Fig. 18): new-user provisioning",
+        ["step", "seconds"],
+    ))
+
+    def run():
+        env = standard_environment(seed=60).boot()
+        return env.run(scenario_1_new_user(env))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    table.add("AUD registration", round(result["t_user_added"], 4))
+    table.add("workspace provisioning (WSS->SAL->SRM->HAL->VNC)",
+              round(result["t_total"] - result["t_user_added"], 4))
+    table.add("total", round(result["t_total"], 4))
+    assert result["workspace"] == "john-default"
+    assert result["t_total"] < 10.0
+
+
+def test_e13_identification_to_workspace(benchmark, table_printer):
+    table = table_printer(ResultTable(
+        "E13 (Fig. 19): finger press -> workspace on screen",
+        ["metric", "value"],
+    ))
+
+    def run():
+        env = standard_environment(seed=61).boot()
+        env.run(scenario_1_new_user(env))
+        s2 = env.run(scenario_2_identification(env))
+        s3 = env.run(scenario_3_workspace_display(env))
+        # Hop-by-hop steps from the trace (the 7 numbered arrows).
+        steps = [r.kind for r in env.trace.records if r.kind in (
+            "user-identified", "workspace-opened", "viewer-attached")]
+        return s2, s3, steps
+
+    s2, s3, steps = benchmark.pedantic(run, rounds=1, iterations=1)
+    table.add("identification correct", "yes" if s2["matched"] else "NO")
+    table.add("fingerprint match distance", round(s2["distance"], 4))
+    table.add("AUD location updated", s2["aud_location"])
+    table.add("end-to-end (s)", round(s3["t_end_to_end"], 4))
+    table.add("displayed at", s3["display"])
+    assert s2["matched"] and s3["displayed"]
+    assert steps.index("user-identified") < steps.index("workspace-opened") < steps.index("viewer-attached")
+    assert s3["t_end_to_end"] < 10.0
+
+
+def test_e14_multiple_workspaces(benchmark, table_printer):
+    table = table_printer(ResultTable(
+        "E14: multiple workspaces + selector",
+        ["metric", "value"],
+    ))
+
+    def run():
+        env = standard_environment(seed=62).boot()
+        env.run(scenario_1_new_user(env))
+        env.run(scenario_2_identification(env))
+        return env.run(scenario_4_multiple_workspaces(env))
+
+    s4 = benchmark.pedantic(run, rounds=1, iterations=1)
+    table.add("workspaces", ", ".join(s4["workspaces"]))
+    table.add("secondary opened", "yes" if s4["opened_secondary"] else "NO")
+    assert sorted(s4["workspaces"]) == ["john-default", "john-work"]
+    assert s4["opened_secondary"]
+
+
+def test_e15_device_control_chain(benchmark, table_printer):
+    table = table_printer(ResultTable(
+        "E15: room device control (RoomDB -> projector -> camera)",
+        ["metric", "value"],
+    ))
+
+    def run():
+        env = standard_environment(seed=63).boot()
+        env.run(scenario_1_new_user(env))
+        return env.run(scenario_5_devices(env))
+
+    s5 = benchmark.pedantic(run, rounds=1, iterations=1)
+    table.add("services discovered in room", len(s5["room_services"]))
+    table.add("projector source", s5["projector_state"]["source"])
+    table.add("camera pan (deg)", s5["pan"])
+    table.add("whole interaction (s)", round(s5["t_total"], 4))
+    assert s5["projector_state"]["source"] == "workspace"
+    assert s5["camera_state"]["powered"] == 1
+    assert s5["t_total"] < 5.0

@@ -1,0 +1,168 @@
+"""E5 — security overhead (Chapter 3, Fig. 10).
+
+Per-command cost in the three security modes (plain / SSL / SSL+KeyNote),
+split into connection setup vs steady-state calls, plus the effect of the
+credential cache and of the delegation-chain depth on the KeyNote check.
+"""
+
+import random
+
+import pytest
+
+from repro.core import DaemonContext, SecurityMode, ServiceClient
+from repro.lang import ACECmdLine
+from repro.metrics import ResultTable, summarize
+from repro.net import Network
+from repro.net.address import WellKnownPorts
+from repro.security.crypto import CertificateAuthority, KeyPair
+from repro.security.keynote import Assertion, ComplianceChecker
+from repro.services.asd import ServiceDirectoryDaemon
+from repro.services.authdb import AuthorizationDatabaseDaemon
+from repro.sim import RngRegistry, Simulator
+from tests.core.conftest import EchoDaemon
+
+
+def build(mode: SecurityMode):
+    sim = Simulator()
+    rng = RngRegistry(11)
+    net = Network(sim, rng)
+    ctx = DaemonContext(sim=sim, net=net, rng=rng)
+    ctx.security.mode = mode
+    ctx.security.ca = CertificateAuthority(rng.py("ca"))
+    infra = net.make_host("infra", bogomips=1600.0, cores=2)
+    client_host = net.make_host("client")
+    ctx.default_bootstrap("infra")
+    asd = ServiceDirectoryDaemon(ctx, "asd", infra, port=WellKnownPorts.ASD)
+    authdb = AuthorizationDatabaseDaemon(ctx, "authdb", infra, port=WellKnownPorts.AUTH_DB)
+    echo = EchoDaemon(ctx, "echo", infra)
+    # Trust the service principals + the test user.
+    user = KeyPair.generate(rng.py("user"))
+    ctx.security.register_principal(user.principal(), user.public)
+    licensees = [f'"{user.principal()}"'] + [
+        f'"{d.keypair.principal()}"' for d in (asd, authdb, echo) if d.keypair
+    ]
+    ctx.security.policies.append(
+        Assertion("POLICY", " || ".join(licensees), 'app_domain == "ace"')
+    )
+    for daemon in (asd, authdb, echo):
+        daemon.start()
+    sim.run(until=2.0)
+    return sim, ctx, client_host, echo, user
+
+
+def measure_mode(mode: SecurityMode, calls: int = 40):
+    sim, ctx, client_host, echo, user = build(mode)
+    connect_time = None
+    latencies = []
+
+    def scenario():
+        nonlocal connect_time
+        client = ServiceClient(ctx, client_host, principal=user.principal(),
+                               keypair=user)
+        t0 = sim.now
+        conn = yield from client.connect(echo.address)
+        connect_time = sim.now - t0
+        for i in range(calls):
+            t1 = sim.now
+            yield from conn.call(ACECmdLine("echo", text=f"m{i}"))
+            latencies.append(sim.now - t1)
+        conn.close()
+
+    sim.run_process(scenario(), timeout=120.0)
+    return connect_time, summarize(latencies)
+
+
+def test_e5_mode_sweep(benchmark, table_printer):
+    table = table_printer(ResultTable(
+        "E5: per-command cost by security mode",
+        ["mode", "connect_ms", "call_p50_ms", "call_p95_ms"],
+    ))
+
+    def run():
+        return {mode: measure_mode(mode) for mode in SecurityMode}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for mode in SecurityMode:
+        connect_time, summary = results[mode]
+        table.add(mode.value, round(connect_time * 1e3, 4),
+                  round(summary.p50 * 1e3, 4), round(summary.p95 * 1e3, 4))
+    plain_conn, plain = results[SecurityMode.NONE]
+    ssl_conn, ssl = results[SecurityMode.SSL]
+    kn_conn, kn = results[SecurityMode.SSL_KEYNOTE]
+    # Shape: each layer adds cost; handshake dominates connection setup.
+    assert plain_conn < ssl_conn <= kn_conn
+    assert plain.p50 < ssl.p50 <= kn.p50 * 1.001
+
+
+def test_e5_credential_cache_ablation(benchmark, table_printer):
+    """With the credential cache disabled every command pays an AuthDB
+    round trip (the literal Fig. 10 flow)."""
+    table = table_printer(ResultTable(
+        "E5: KeyNote credential cache",
+        ["cache", "call_p50_ms"],
+    ))
+
+    def run():
+        rows = []
+        for ttl, label in ((30.0, "on (30s TTL)"), (0.0, "off")):
+            sim, ctx, client_host, echo, user = build(SecurityMode.SSL_KEYNOTE)
+            ctx.security.credential_cache_ttl = ttl
+            latencies = []
+
+            def scenario():
+                client = ServiceClient(ctx, client_host, principal=user.principal(),
+                                       keypair=user)
+                conn = yield from client.connect(echo.address)
+                for i in range(20):
+                    t0 = sim.now
+                    yield from conn.call(ACECmdLine("echo", text=f"x{i}"))
+                    latencies.append(sim.now - t0)
+                conn.close()
+
+            sim.run_process(scenario(), timeout=240.0)
+            rows.append((label, summarize(latencies).p50 * 1e3))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for label, p50 in rows:
+        table.add(label, round(p50, 4))
+    assert rows[1][1] > rows[0][1]  # cache off is slower
+
+
+def test_e5_delegation_chain_depth(benchmark, table_printer):
+    """Pure KeyNote compute: compliance-check time vs chain depth."""
+    table = table_printer(ResultTable(
+        "E5: KeyNote compliance check vs delegation depth (wall µs)",
+        ["depth", "check_us"],
+    ))
+    import time
+
+    rows = []
+    for depth in (1, 3, 6):
+        rng = random.Random(depth)
+        keys = [KeyPair.generate(rng) for _ in range(depth)]
+        assertions = [Assertion("POLICY", f'"{keys[0].principal()}"', 'app_domain == "ace"')]
+        for i in range(depth - 1):
+            assertions.append(
+                Assertion(keys[i].principal(), f'"{keys[i + 1].principal()}"',
+                          'command == "echo"').sign(keys[i])
+            )
+        user_principal = keys[-1].principal()
+        checker = ComplianceChecker(
+            assertions,
+            principal_keys={k.principal(): k.public for k in keys},
+        )
+        attrs = {"app_domain": "ace", "command": "echo"}
+        assert checker.query([user_principal], attrs) == "permit"
+        n = 300
+        t0 = time.perf_counter()
+        for _ in range(n):
+            checker.query([user_principal], attrs)
+        rows.append((depth, (time.perf_counter() - t0) / n * 1e6))
+
+    for depth, us in rows:
+        table.add(depth, round(us, 2))
+    benchmark(lambda: None)
+    # Shape: cost grows with depth (fixpoint passes), stays sub-ms.
+    assert rows[0][1] <= rows[-1][1] * 1.5
+    assert rows[-1][1] < 10_000

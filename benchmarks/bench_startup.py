@@ -1,0 +1,89 @@
+"""E4 — daemon startup sequence (Fig. 9, §2.6).
+
+Regenerates the figure's step sequence as a measured timeline (per-leg
+latency for RoomDB → ASD → NetLogger) and stresses the boot path with a
+daemon *storm* (N daemons starting at once on one ASD).
+"""
+
+import pytest
+
+from repro.env import ACEEnvironment
+from repro.metrics import ResultTable, summarize
+from tests.core.conftest import EchoDaemon
+
+
+def test_e4_startup_leg_breakdown(benchmark, table_printer):
+    table = table_printer(ResultTable(
+        "E4: startup sequence leg latency (Fig. 9 steps)",
+        ["leg", "ms"],
+    ))
+
+    def run():
+        env = ACEEnvironment(seed=8)
+        env.add_infrastructure("infra", with_wss=False, with_idmon=False)
+        host = env.add_workstation("bar", room="hawk", monitors=False)
+        env.boot()
+        daemon = EchoDaemon(env.ctx, "foo", host, room="hawk")
+        env.add_daemon(daemon)
+        env.run_for(3.0)
+        marks = {}
+        for record in env.trace.records:
+            if record.source == "foo":
+                marks[record.kind] = record.time
+        return marks
+
+    marks = benchmark.pedantic(run, rounds=1, iterations=1)
+    legs = [
+        ("launch -> roomdb", "daemon-launch", "roomdb-registered"),
+        ("roomdb -> asd", "roomdb-registered", "asd-registered"),
+        ("asd -> netlogger", "asd-registered", "netlogger-logged"),
+        ("total", "daemon-launch", "daemon-ready"),
+    ]
+    for label, start, end in legs:
+        table.add(label, round((marks[end] - marks[start]) * 1e3, 4))
+    order = ["daemon-launch", "roomdb-registered", "asd-registered",
+             "netlogger-logged", "daemon-ready"]
+    times = [marks[k] for k in order]
+    assert times == sorted(times), "Fig. 9 step order violated"
+    assert marks["daemon-ready"] - marks["daemon-launch"] < 1.0
+
+
+def test_e4_boot_storm(benchmark, table_printer):
+    """N daemons booting simultaneously: all must register; time-to-ready
+    grows with contention at the shared infrastructure."""
+    table = table_printer(ResultTable(
+        "E4: simultaneous boot storm",
+        ["daemons", "all_ready_s", "ready_p95_ms"],
+    ))
+
+    def run():
+        rows = []
+        for n in (5, 25, 100):
+            env = ACEEnvironment(seed=9)
+            env.add_infrastructure("infra", with_wss=False, with_idmon=False)
+            host = env.add_workstation("farm", room="lab", bogomips=3200.0,
+                                       cores=4, monitors=False)
+            env.boot()
+            t0 = env.sim.now
+            daemons = []
+            for i in range(n):
+                daemon = EchoDaemon(env.ctx, f"storm{i:04d}", host, room="lab")
+                env.daemons[daemon.name] = daemon
+                daemon.start()
+                daemons.append(daemon)
+            env.run_for(30.0)
+            ready_times = {}
+            for record in env.trace.records:
+                if record.kind == "daemon-ready" and record.source.startswith("storm"):
+                    ready_times[record.source] = record.time - t0
+            assert len(ready_times) == n, f"only {len(ready_times)}/{n} came up"
+            summary = summarize(list(ready_times.values()))
+            rows.append((n, summary.maximum, summary.p95 * 1e3))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for n, all_ready, p95 in rows:
+        table.add(n, round(all_ready, 3), round(p95, 2))
+    # Shape: time to all-ready grows with storm size but stays bounded.
+    assert rows[0][1] <= rows[-1][1]
+    assert rows[-1][1] < 30.0

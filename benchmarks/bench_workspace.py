@@ -1,0 +1,156 @@
+"""E10 — VNC workspaces (Fig. 16, §5.4).
+
+* viewer attach latency (cold workspace pop-up time);
+* dirty-rectangle updates vs full-frame refreshes (bandwidth);
+* session migration: detach at one access point, reattach at another.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.vnc import VNCViewer
+from repro.env import ACEEnvironment
+from repro.env.scenarios import scenario_1_new_user, standard_environment
+from repro.lang import ACECmdLine
+from repro.metrics import ResultTable
+
+
+def workspace_env():
+    env = standard_environment(seed=40)
+    env.boot()
+    env.run(scenario_1_new_user(env))
+    wss = env.daemon("wss")
+    record = wss.workspaces[("john", "john-default")]
+    return env, record
+
+
+def test_e10_attach_latency(benchmark, table_printer):
+    table = table_printer(ResultTable(
+        "E10: viewer attach latency (connect + auth + full frame push)",
+        ["access point", "attach_ms"],
+    ))
+
+    def run():
+        env, record = workspace_env()
+        rows = []
+        for host_name in ("podium", "tube"):
+            host = env.net.host(host_name)
+
+            def attach():
+                viewer = VNCViewer(env.ctx, host, record.server_address,
+                                   record.session, record.password)
+                client = env.client(host, principal="john")
+                t0 = env.sim.now
+                yield from viewer.attach(client)
+                elapsed = env.sim.now - t0
+                yield from viewer.detach()
+                return elapsed
+
+            rows.append((host_name, env.run(attach())))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for host_name, elapsed in rows:
+        table.add(host_name, round(elapsed * 1e3, 3))
+        assert elapsed < 1.0  # "at the touch of a button"
+
+
+def test_e10_dirty_rects_vs_full_frames(benchmark, table_printer):
+    table = table_printer(ResultTable(
+        "E10: update bandwidth, dirty rectangles vs full frames (20 edits)",
+        ["mode", "bytes", "ratio"],
+    ))
+
+    def run():
+        env, record = workspace_env()
+        host = env.net.host("podium")
+
+        def session(full_updates):
+            viewer = VNCViewer(env.ctx, host, record.server_address,
+                               record.session, record.password)
+            client = env.client(host, principal="john")
+            yield from viewer.attach(client)
+            baseline = viewer.bytes_received  # initial full frame
+            for i in range(20):
+                yield from viewer.send_input(op="draw", x=8 * i, y=10, w=8, h=8,
+                                             value=100 + i)
+                if full_updates:
+                    yield from viewer._conn.call(ACECmdLine(
+                        "requestUpdate", session=record.session,
+                        password=record.password, udp_host=host.name,
+                        udp_port=viewer.udp_address.port, full=1,
+                    ))
+                yield env.sim.timeout(0.05)
+                yield from viewer.pump()
+            total = viewer.bytes_received - baseline
+            yield from viewer.detach()
+            return total
+
+        dirty_bytes = env.run(session(full_updates=False))
+        env2, record2 = workspace_env()
+        host2 = env2.net.host("podium")
+
+        def session2():
+            viewer = VNCViewer(env2.ctx, host2, record2.server_address,
+                               record2.session, record2.password)
+            client = env2.client(host2, principal="john")
+            yield from viewer.attach(client)
+            baseline = viewer.bytes_received
+            for i in range(20):
+                yield from viewer.send_input(op="draw", x=8 * i, y=10, w=8, h=8,
+                                             value=100 + i)
+                yield from viewer._conn.call(ACECmdLine(
+                    "requestUpdate", session=record2.session,
+                    password=record2.password, udp_host=host2.name,
+                    udp_port=viewer.udp_address.port, full=1,
+                ))
+                yield env2.sim.timeout(0.05)
+                yield from viewer.pump()
+            total = viewer.bytes_received - baseline
+            yield from viewer.detach()
+            return total
+
+        full_bytes = env2.run(session2())
+        return dirty_bytes, full_bytes
+
+    dirty_bytes, full_bytes = benchmark.pedantic(run, rounds=1, iterations=1)
+    table.add("dirty rectangles", dirty_bytes, 1.0)
+    table.add("full frames", full_bytes, round(full_bytes / max(dirty_bytes, 1), 1))
+    assert full_bytes > 20 * dirty_bytes  # dirty rects are the big win
+
+
+def test_e10_session_migration(benchmark, table_printer):
+    table = table_printer(ResultTable(
+        "E10: session migration podium -> office",
+        ["metric", "value"],
+    ))
+
+    def run():
+        env, record = workspace_env()
+
+        def migrate():
+            podium, office = env.net.host("podium"), env.net.host("tube")
+            v1 = VNCViewer(env.ctx, podium, record.server_address,
+                           record.session, record.password)
+            yield from v1.attach(env.client(podium, principal="john"))
+            yield from v1.send_input(op="type", x=10, y=50, text="presentation notes")
+            yield env.sim.timeout(0.2)
+            yield from v1.pump()
+            fb1 = v1.framebuffer.copy()
+            yield from v1.detach()
+            t0 = env.sim.now
+            v2 = VNCViewer(env.ctx, office, record.server_address,
+                           record.session, record.password)
+            yield from v2.attach(env.client(office, principal="john"))
+            migration = env.sim.now - t0
+            identical = bool((v2.framebuffer == fb1).all())
+            yield from v2.detach()
+            return migration, identical
+
+        return env.run(migrate())
+
+    migration, identical = benchmark.pedantic(run, rounds=1, iterations=1)
+    table.add("reattach latency (ms)", round(migration * 1e3, 3))
+    table.add("state identical", "yes" if identical else "NO")
+    assert identical
+    assert migration < 1.0

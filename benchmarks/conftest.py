@@ -1,0 +1,38 @@
+"""Shared benchmark utilities.
+
+Each ``bench_*.py`` file regenerates one of the paper's experiments
+(figure/scenario/claim — see DESIGN.md's experiment index):
+
+* the **series the paper's artifact implies** are computed inside a
+  simulated ACE and printed as a ResultTable (these are simulated-time
+  measurements, deterministic per seed);
+* the ``benchmark`` fixture additionally wall-clock-times the experiment
+  body (or a representative kernel) so ``pytest --benchmark-only`` gives a
+  conventional benchmark report.
+
+Shape assertions (who wins, where crossovers fall) are made with plain
+asserts so a regression in the reproduction fails the bench run loudly.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Wall-clock one heavyweight experiment exactly once and return its
+    result (simulated metrics)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def table_printer():
+    """Collect tables and print them after the test (so -s shows output
+    grouped per experiment)."""
+    tables = []
+
+    def add(table):
+        tables.append(table)
+        return table
+
+    yield add
+    for table in tables:
+        print("\n" + table.render())

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: boot a minimal ACE, discover a camera, drive it.
+
+Demonstrates the core loop of the paper (Fig. 7): services register with
+the Service Directory; clients look them up by class and talk to them in
+the ACE command language.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ACECmdLine, ACEEnvironment
+from repro.services.asd import asd_lookup
+from repro.services.devices import VCC4CameraDaemon
+
+
+def main() -> None:
+    # 1. Build an environment: one infrastructure host (ASD, RoomDB,
+    #    NetLogger, AUD, AuthDB, SRM, SAL, WSS, IDMon) + a conference room.
+    env = ACEEnvironment(seed=7)
+    env.add_infrastructure("infra")
+    env.add_room("hawk", building="nichols", dims=(10.0, 8.0, 3.0))
+    podium = env.add_workstation("podium", room="hawk")
+    env.add_device(VCC4CameraDaemon, "camera.hawk", podium, room="hawk")
+    env.boot()
+    print(f"[t={env.sim.now:6.2f}s] ACE booted with {len(env.daemons)} daemons:")
+    for name, daemon in sorted(env.daemons.items()):
+        print(f"    {name:<16} {daemon.class_path():<40} @ {daemon.address}")
+
+    # 2. A client discovers the camera through the ASD and drives it.
+    def drive_camera():
+        client = env.client(podium, principal="demo-user")
+        records = yield from asd_lookup(client, env.asd_address, cls="PTZCamera")
+        print(f"\n[t={env.sim.now:6.2f}s] ASD lookup cls=PTZCamera -> "
+              f"{[r.to_wire() for r in records]}")
+        camera = records[0]
+        conn = yield from client.connect(camera.address)
+        yield from conn.call(ACECmdLine("power", state="on"))
+        aim = yield from conn.call(ACECmdLine("setPosition", x=2.0, y=1.5, z=1.2))
+        zoom = yield from conn.call(ACECmdLine("setZoom", factor=4.0))
+        state = yield from conn.call(ACECmdLine("getState"))
+        conn.close()
+        return aim, zoom, state
+
+    aim, zoom, state = env.run(drive_camera())
+    print(f"[t={env.sim.now:6.2f}s] camera aimed: pan={aim['pan']}° "
+          f"tilt={aim['tilt']}°  zoom={zoom['zoom']}x")
+    print(f"[t={env.sim.now:6.2f}s] device state: {state.args}")
+
+    # 3. Commands are plain strings on the wire — inspect one.
+    cmd = ACECmdLine("setPosition", x=2.0, y=1.5, z=1.2)
+    print(f"\nwire form of the aim command ({cmd.wire_size} bytes): {cmd}")
+
+
+if __name__ == "__main__":
+    main()

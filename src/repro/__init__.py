@@ -1,0 +1,47 @@
+"""repro — a full reproduction of the ACE (Ambient Computational
+Environments) architecture on a deterministic simulated network.
+
+Quick start::
+
+    from repro.env.scenarios import run_full_story
+
+    results = run_full_story(seed=1)        # Scenarios 1-5 of the paper
+    print(results["scenario3"]["t_end_to_end"])
+
+Layer map (bottom-up):
+
+* :mod:`repro.sim`       — discrete-event kernel (processes, queues, RNG).
+* :mod:`repro.net`       — hosts, links, sockets, faults, secure channels.
+* :mod:`repro.lang`      — the ACE command language (§2.2).
+* :mod:`repro.security`  — toy crypto + KeyNote trust management (Ch. 3).
+* :mod:`repro.core`      — the service-daemon infrastructure (Ch. 2).
+* :mod:`repro.services`  — the basic ACE services (Ch. 4).
+* :mod:`repro.store`     — the replicated persistent store (Ch. 6).
+* :mod:`repro.apps`      — VNC workspaces, O-Phone, robust apps (Ch. 5).
+* :mod:`repro.env`       — environment builder + Chapter 7 scenarios.
+* :mod:`repro.baselines` — RMI / Jini / centralized-gateway comparators.
+"""
+
+from repro.core import ACEDaemon, DaemonContext, SecurityMode, ServiceClient
+from repro.env import ACEEnvironment, UserIdentity
+from repro.lang import ACECmdLine, parse_command
+from repro.net import Address, Host, Network
+from repro.sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ACECmdLine",
+    "ACEDaemon",
+    "ACEEnvironment",
+    "Address",
+    "DaemonContext",
+    "Host",
+    "Network",
+    "SecurityMode",
+    "ServiceClient",
+    "Simulator",
+    "UserIdentity",
+    "parse_command",
+    "__version__",
+]

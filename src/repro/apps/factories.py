@@ -1,0 +1,103 @@
+"""Application factories the HALs launch from.
+
+The environment builder installs these into every HAL's
+:class:`~repro.apps.runner.AppRegistry`, so the SAL→HAL chain can start
+VNC servers and viewers anywhere (Scenarios 1 and 3).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.net import Address
+from repro.sim import Interrupt
+
+from repro.apps.runner import Application, AppClass, AppRegistry, _parse_kv
+from repro.apps.vnc import VNCServerDaemon, VNCViewer
+from repro.core.client import ServiceClient
+from repro.core.context import DaemonContext
+
+
+class VNCServerApp(Application):
+    """Wraps a :class:`VNCServerDaemon` hosting one workspace session.
+
+    args: ``session=<name> owner=<user> password=<pw> secret=<wss secret>``
+    """
+
+    app_class = AppClass.RESTART
+
+    def __init__(self, ctx: DaemonContext, host, args: str = ""):
+        super().__init__(ctx, host, "vncserver", args)
+        params = _parse_kv(args)
+        self.session = params.get("session", "default")
+        self.daemon = VNCServerDaemon(
+            ctx,
+            f"vnc.{self.session}",
+            host,
+            admin_secret=params.get("secret", ""),
+        )
+        # Pre-create the session the WSS asked for (password managed by WSS).
+        fb = np.zeros(self.daemon.shape, dtype=np.uint8)
+        from repro.apps.vnc import WorkspaceSession
+
+        self.daemon.sessions[self.session] = WorkspaceSession(
+            name=self.session,
+            owner=params.get("owner", "unknown"),
+            password=params.get("password", ""),
+            framebuffer=fb,
+        )
+
+    def body(self) -> Generator:
+        self.daemon.start()
+        try:
+            while True:
+                yield self.ctx.sim.timeout(3600.0)
+        finally:
+            if self.daemon.running:
+                self.daemon.stop()
+
+
+class VNCViewerApp(Application):
+    """A viewer at an access point, redirecting workspace I/O locally.
+
+    args: ``server=<host:port> session=<name> password=<pw>``
+    """
+
+    app_class = AppClass.TEMPORARY
+
+    def __init__(self, ctx: DaemonContext, host, args: str = ""):
+        super().__init__(ctx, host, "vncviewer", args)
+        params = _parse_kv(args)
+        self.server_address = Address.parse(params["server"])
+        self.session = params.get("session", "default")
+        self.password = params.get("password", "")
+        self.viewer: Optional[VNCViewer] = None
+        self.attached_at: Optional[float] = None
+
+    def body(self) -> Generator:
+        self.viewer = VNCViewer(
+            self.ctx, self.host, self.server_address, self.session, self.password
+        )
+        client = ServiceClient(self.ctx, self.host, principal=f"viewer:{self.session}")
+        try:
+            yield from self.viewer.attach(client)
+            self.attached_at = self.ctx.sim.now
+            self.ctx.trace.emit(
+                self.ctx.sim.now, f"app:vncviewer", "viewer-attached",
+                session=self.session, display=self.host.name,
+            )
+            while True:
+                yield from self.viewer.pump(min_updates=1)
+        except Interrupt:
+            yield from self.viewer.detach()
+            raise
+
+
+def build_registry(ctx: DaemonContext) -> AppRegistry:
+    """The standard ACE application registry."""
+    registry = AppRegistry()
+    registry.register("vncserver", lambda c, h, a: VNCServerApp(c, h, a))
+    registry.register("vncviewer", lambda c, h, a: VNCViewerApp(c, h, a))
+    return registry

@@ -1,0 +1,379 @@
+"""VNC — Virtual Network Computing emulation (§5.4, Fig. 16).
+
+The paper integrates AT&T VNC as the engine behind user workspaces: the
+*server* owns the workspace state (here: a numpy framebuffer per session
+plus the apps running in it), *viewers* attach from any access point and
+get I/O redirected.  Faithfully to the paper's modification, session
+passwords are managed by the WSS ("the VNC password files were directly
+accessed and modified by the WSS"), so users never type one.
+
+Implementation notes
+--------------------
+* The server is an :class:`~repro.core.daemon.ACEDaemon` subclass (the
+  paper's "legacy application ... slightly modified to fit the ACE
+  infrastructure"), so it registers with the ASD and speaks ACE commands
+  for control.
+* Pixel data flows over the daemon's UDP data channel (§2.1.1's data
+  thread) as :class:`FrameUpdate` packets whose wire size equals the real
+  pixel byte count — experiment E10 measures dirty-rect vs full-frame
+  bandwidth from these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.lang import ArgSpec, ArgType, CommandSemantics
+from repro.net import Address
+from repro.core.daemon import ACEDaemon, Request, ServiceError
+
+#: default workspace geometry (height, width), 8-bit grayscale
+DEFAULT_SHAPE = (240, 320)
+
+Rect = Tuple[int, int, int, int]  # x, y, w, h
+
+
+@dataclass
+class FrameUpdate:
+    """One update packet on the UDP channel."""
+
+    session: str
+    seq: int
+    rects: Tuple[Rect, ...]
+    pixels: bytes  # concatenated rect contents, row-major per rect
+
+    def wire_size(self) -> int:
+        return len(self.pixels) + 16 * len(self.rects) + 32
+
+
+@dataclass
+class WorkspaceSession:
+    """Server-side state of one user workspace."""
+
+    name: str
+    owner: str
+    password: str
+    framebuffer: np.ndarray
+    #: dirty rectangles since each viewer's last update, keyed by viewer addr
+    dirty: Dict[Address, List[Rect]] = field(default_factory=dict)
+    viewers: List[Address] = field(default_factory=list)
+    seq: int = 0
+    input_log: List[str] = field(default_factory=list)
+
+    def mark_dirty(self, rect: Rect) -> None:
+        for rects in self.dirty.values():
+            rects.append(rect)
+
+
+class VNCServerDaemon(ACEDaemon):
+    """Houses workspaces; redirects I/O to attached viewers (Fig. 16)."""
+
+    service_type = "VNCServer"
+
+    def __init__(self, ctx, name, host, *, shape: Tuple[int, int] = DEFAULT_SHAPE,
+                 admin_secret: str = "", **kwargs):
+        # The paper's VNC is a legacy app with its *own* auth scheme —
+        # session passwords managed by the WSS — not KeyNote credentials;
+        # viewers hold a password, not a key.
+        kwargs.setdefault("authorize_commands", False)
+        super().__init__(ctx, name, host, **kwargs)
+        self.shape = shape
+        #: shared secret the WSS uses for session administration
+        self.admin_secret = admin_secret
+        self.sessions: Dict[str, WorkspaceSession] = {}
+
+    def build_semantics(self, sem: CommandSemantics) -> None:
+        sem.define(
+            "createSession",
+            ArgSpec("session", ArgType.STRING),
+            ArgSpec("owner", ArgType.STRING),
+            ArgSpec("password", ArgType.STRING),
+            ArgSpec("admin", ArgType.STRING, required=False, default=""),
+            description="WSS-administered session creation",
+        )
+        sem.define(
+            "destroySession",
+            ArgSpec("session", ArgType.STRING),
+            ArgSpec("admin", ArgType.STRING, required=False, default=""),
+        )
+        sem.define(
+            "setPassword",
+            ArgSpec("session", ArgType.STRING),
+            ArgSpec("password", ArgType.STRING),
+            ArgSpec("admin", ArgType.STRING, required=False, default=""),
+            description="the WSS 'directly modifies the password file'",
+        )
+        sem.define("listSessions", ArgSpec("owner", ArgType.STRING, required=False))
+        sem.define(
+            "attachViewer",
+            ArgSpec("session", ArgType.STRING),
+            ArgSpec("password", ArgType.STRING),
+            ArgSpec("udp_host", ArgType.STRING),
+            ArgSpec("udp_port", ArgType.INTEGER),
+            description="attach a viewer; full framebuffer is pushed via UDP",
+        )
+        sem.define(
+            "detachViewer",
+            ArgSpec("session", ArgType.STRING),
+            ArgSpec("udp_host", ArgType.STRING),
+            ArgSpec("udp_port", ArgType.INTEGER),
+        )
+        sem.define(
+            "input",
+            ArgSpec("session", ArgType.STRING),
+            ArgSpec("password", ArgType.STRING),
+            ArgSpec("op", ArgType.STRING),
+            ArgSpec("x", ArgType.INTEGER, required=False, default=0),
+            ArgSpec("y", ArgType.INTEGER, required=False, default=0),
+            ArgSpec("w", ArgType.INTEGER, required=False, default=8),
+            ArgSpec("h", ArgType.INTEGER, required=False, default=8),
+            ArgSpec("value", ArgType.INTEGER, required=False, default=255),
+            ArgSpec("text", ArgType.STRING, required=False, default=""),
+            description="workspace input: draw/type/clear operations",
+        )
+        sem.define(
+            "requestUpdate",
+            ArgSpec("session", ArgType.STRING),
+            ArgSpec("password", ArgType.STRING),
+            ArgSpec("udp_host", ArgType.STRING),
+            ArgSpec("udp_port", ArgType.INTEGER),
+            ArgSpec("full", ArgType.INTEGER, required=False, default=0),
+        )
+
+    # ------------------------------------------------------------------
+    def _session(self, name: str) -> WorkspaceSession:
+        session = self.sessions.get(name)
+        if session is None:
+            raise ServiceError(f"no such session {name!r}")
+        return session
+
+    def _check_admin(self, request: Request) -> None:
+        if self.admin_secret and request.command.str("admin", "") != self.admin_secret:
+            raise ServiceError("administrative command requires the WSS secret")
+
+    def _check_password(self, session: WorkspaceSession, request: Request) -> None:
+        if request.command.str("password") != session.password:
+            raise ServiceError(f"bad password for session {session.name!r}")
+
+    # -- administration (WSS-facing) ------------------------------------
+    def cmd_createSession(self, request: Request) -> dict:
+        self._check_admin(request)
+        cmd = request.command
+        name = cmd.str("session")
+        if name in self.sessions:
+            raise ServiceError(f"session {name!r} already exists")
+        fb = np.zeros(self.shape, dtype=np.uint8)
+        self.sessions[name] = WorkspaceSession(
+            name=name, owner=cmd.str("owner"), password=cmd.str("password"), framebuffer=fb
+        )
+        self.ctx.trace.emit(self.ctx.sim.now, self.name, "vnc-session-created",
+                            session=name, owner=cmd.str("owner"))
+        return {"session": name, "width": self.shape[1], "height": self.shape[0]}
+
+    def cmd_destroySession(self, request: Request) -> dict:
+        self._check_admin(request)
+        name = request.command.str("session")
+        existed = self.sessions.pop(name, None)
+        return {"removed": 1 if existed else 0}
+
+    def cmd_setPassword(self, request: Request) -> dict:
+        self._check_admin(request)
+        session = self._session(request.command.str("session"))
+        session.password = request.command.str("password")
+        return {"session": session.name}
+
+    def cmd_listSessions(self, request: Request) -> dict:
+        owner = request.command.get("owner")
+        names = sorted(
+            s.name for s in self.sessions.values() if owner is None or s.owner == owner
+        )
+        result: dict = {"count": len(names)}
+        if names:
+            result["sessions"] = tuple(names)
+        return result
+
+    # -- viewers ---------------------------------------------------------
+    def cmd_attachViewer(self, request: Request) -> Generator:
+        cmd = request.command
+        session = self._session(cmd.str("session"))
+        self._check_password(session, request)
+        viewer = Address(cmd.str("udp_host"), cmd.int("udp_port"))
+        if viewer not in session.viewers:
+            session.viewers.append(viewer)
+            session.dirty[viewer] = []
+        # Push the full framebuffer so the viewer starts in sync.
+        yield from self._push(session, viewer, full=True)
+        return {"session": session.name, "width": self.shape[1], "height": self.shape[0]}
+
+    def cmd_detachViewer(self, request: Request) -> dict:
+        cmd = request.command
+        session = self._session(cmd.str("session"))
+        viewer = Address(cmd.str("udp_host"), cmd.int("udp_port"))
+        if viewer in session.viewers:
+            session.viewers.remove(viewer)
+            session.dirty.pop(viewer, None)
+        return {"session": session.name}
+
+    # -- input / output --------------------------------------------------
+    def cmd_input(self, request: Request) -> Generator:
+        cmd = request.command
+        session = self._session(cmd.str("session"))
+        self._check_password(session, request)
+        rect = self._apply_input(session, cmd)
+        session.input_log.append(cmd.str("op"))
+        session.mark_dirty(rect)
+        # I/O redirection: push the change to every attached viewer.
+        for viewer in list(session.viewers):
+            yield from self._push(session, viewer, full=False)
+        return {"session": session.name}
+
+    def _apply_input(self, session: WorkspaceSession, cmd) -> Rect:
+        op = cmd.str("op")
+        fb = session.framebuffer
+        height, width = fb.shape
+        x = max(0, min(cmd.int("x", 0), width - 1))
+        y = max(0, min(cmd.int("y", 0), height - 1))
+        w = max(1, min(cmd.int("w", 8), width - x))
+        h = max(1, min(cmd.int("h", 8), height - y))
+        if op == "draw":
+            fb[y : y + h, x : x + w] = cmd.int("value", 255) & 0xFF
+        elif op == "clear":
+            fb[:, :] = 0
+            x, y, w, h = 0, 0, width, height
+        elif op == "type":
+            # Each character "renders" as an 8x8 glyph block derived from
+            # its code point, advancing a cursor along the row.
+            text = cmd.str("text", "")
+            for i, ch in enumerate(text):
+                gx = x + i * 8
+                if gx + 8 > width:
+                    break
+                fb[y : y + 8, gx : gx + 8] = (ord(ch) * 37) & 0xFF
+            w, h = min(len(cmd.str("text", "")) * 8, width - x), 8
+        else:
+            raise ServiceError(f"unknown input op {op!r}")
+        return (x, y, w, h)
+
+    def _push(self, session: WorkspaceSession, viewer: Address, full: bool) -> Generator:
+        fb = session.framebuffer
+        height, width = fb.shape
+        if full:
+            rects: Tuple[Rect, ...] = ((0, 0, width, height),)
+            session.dirty[viewer] = []
+        else:
+            pending = session.dirty.get(viewer, [])
+            if not pending:
+                return
+            rects = tuple(pending)
+            session.dirty[viewer] = []
+        chunks = []
+        for (x, y, w, h) in rects:
+            chunks.append(fb[y : y + h, x : x + w].tobytes())
+        session.seq += 1
+        update = FrameUpdate(session.name, session.seq, rects, b"".join(chunks))
+        yield from self._datagram.send(viewer, update)
+
+    def cmd_requestUpdate(self, request: Request) -> Generator:
+        cmd = request.command
+        session = self._session(cmd.str("session"))
+        self._check_password(session, request)
+        viewer = Address(cmd.str("udp_host"), cmd.int("udp_port"))
+        yield from self._push(session, viewer, full=bool(cmd.int("full", 0)))
+        return {"session": session.name}
+
+
+class VNCViewer:
+    """Client-side viewer: reconstructs the framebuffer from updates.
+
+    Bind it to a datagram port on the access-point host, attach to a
+    session, and apply updates as they arrive.  Runs anywhere — podium
+    terminals, offices — while the workspace stays on the server host.
+    """
+
+    def __init__(self, ctx, host, server_address: Address, session: str, password: str):
+        self.ctx = ctx
+        self.host = host
+        self.server_address = server_address
+        self.session = session
+        self.password = password
+        self.framebuffer: Optional[np.ndarray] = None
+        self.updates_received = 0
+        self.bytes_received = 0
+        self._sock = ctx.net.bind_datagram(host)
+        self._conn = None
+
+    @property
+    def udp_address(self) -> Address:
+        return self._sock.address
+
+    def attach(self, client) -> Generator:
+        """Attach via an existing :class:`ServiceClient`; waits for the
+        initial full-frame push."""
+        from repro.lang import ACECmdLine
+
+        self._conn = yield from client.connect(self.server_address)
+        reply = yield from self._conn.call(
+            ACECmdLine(
+                "attachViewer",
+                session=self.session,
+                password=self.password,
+                udp_host=self.host.name,
+                udp_port=self._sock.address.port,
+            )
+        )
+        self.framebuffer = np.zeros((reply.int("height"), reply.int("width")), dtype=np.uint8)
+        yield from self.pump(min_updates=1)
+        return reply
+
+    def send_input(self, **kwargs) -> Generator:
+        from repro.lang import ACECmdLine
+
+        if self._conn is None:
+            raise RuntimeError("viewer not attached")
+        yield from self._conn.call(
+            ACECmdLine("input", {"session": self.session, "password": self.password, **kwargs})
+        )
+        yield from self.pump()
+
+    def pump(self, min_updates: int = 0) -> Generator:
+        """Drain pending updates (blocking for at least ``min_updates``)."""
+        applied = 0
+        while True:
+            if applied >= min_updates:
+                found, item = self._sock.try_recv()
+                if not found:
+                    return applied
+            else:
+                item = yield from self._sock.recv()
+            _source, update = item if isinstance(item, tuple) else (None, item)
+            self._apply(update)
+            applied += 1
+
+    def _apply(self, update: FrameUpdate) -> None:
+        assert self.framebuffer is not None
+        offset = 0
+        for (x, y, w, h) in update.rects:
+            size = w * h
+            block = np.frombuffer(update.pixels[offset : offset + size], dtype=np.uint8)
+            self.framebuffer[y : y + h, x : x + w] = block.reshape(h, w)
+            offset += size
+        self.updates_received += 1
+        self.bytes_received += update.wire_size()
+
+    def detach(self) -> Generator:
+        from repro.lang import ACECmdLine
+
+        if self._conn is not None and not self._conn.closed:
+            yield from self._conn.call(
+                ACECmdLine(
+                    "detachViewer",
+                    session=self.session,
+                    udp_host=self.host.name,
+                    udp_port=self._sock.address.port,
+                )
+            )
+            self._conn.close()
+        self._sock.close()

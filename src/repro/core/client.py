@@ -1,0 +1,140 @@
+"""Client-side command interface to ACE daemons (§2.3's "command interface").
+
+A :class:`ServiceClient` is held by anything that issues commands — user
+GUIs, other daemons, scenario drivers.  It opens (optionally SSL) channels,
+performs the identity *attach*, and exposes a call-style API::
+
+    conn = yield from client.connect(addr)
+    reply = yield from conn.call(ACECmdLine("setPosition", x=1.0, y=2.0))
+
+``call`` serializes the command (Fig. 5's CmdLine → string), transmits,
+and parses the reply string back into an ACECmdLine.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Union
+
+from repro.lang import ACECmdLine, parse_command
+from repro.lang.command import is_error
+from repro.net import Address, Connection, ConnectionClosed, ConnectionRefused
+from repro.net.host import Host
+from repro.net.secure import SecureChannel, handshake_client
+from repro.security.crypto import KeyPair, sha256_hex
+
+from repro.core.context import DaemonContext, SecurityMode
+
+
+class CallError(Exception):
+    """The service replied cmdFailed, or transport failed mid-call."""
+
+    def __init__(self, message: str, reply: Optional[ACECmdLine] = None):
+        super().__init__(message)
+        self.reply = reply
+
+
+Channel = Union[Connection, SecureChannel]
+
+
+def channel_binding(channel: Channel) -> str:
+    """A string both endpoints can compute, tying an attach signature to
+    this channel (thwarts replaying the attach on another connection)."""
+    if isinstance(channel, SecureChannel):
+        return sha256_hex(channel._mac_key)[:32]
+    return f"{channel.local}|{channel.remote}"
+
+
+class ServiceConnection:
+    """An attached, ready-to-use channel to one daemon."""
+
+    def __init__(self, channel: Channel, principal: str):
+        self.channel = channel
+        self.principal = principal
+
+    @property
+    def closed(self) -> bool:
+        return self.channel.closed
+
+    def call(self, command: ACECmdLine, check: bool = True) -> Generator:
+        """Send a command and wait for its reply.
+
+        With ``check`` (default) a ``cmdFailed`` reply raises
+        :class:`CallError`; otherwise the reply is returned either way.
+        """
+        try:
+            yield from self.channel.send(command.to_string())
+            reply_text = yield from self.channel.recv()
+        except ConnectionClosed as exc:
+            raise CallError(f"connection lost during {command.name!r}: {exc}")
+        reply = parse_command(reply_text)
+        if check and is_error(reply):
+            raise CallError(
+                f"{command.name!r} failed: {reply.get('reason', 'unknown')}", reply
+            )
+        return reply
+
+    def send_oneway(self, command: ACECmdLine) -> Generator:
+        """Send without waiting for the reply (the reply is drained later or
+        discarded when the connection closes)."""
+        yield from self.channel.send(command.to_string())
+
+    def close(self) -> None:
+        self.channel.close()
+
+
+class ServiceClient:
+    """Factory of attached connections for one principal on one host."""
+
+    def __init__(
+        self,
+        ctx: DaemonContext,
+        host: Host,
+        principal: str = "anonymous",
+        keypair: Optional[KeyPair] = None,
+    ):
+        self.ctx = ctx
+        self.host = host
+        self.principal = principal
+        self.keypair = keypair
+        self._rng = ctx.rng.py(f"client.{host.name}.{principal}")
+
+    def connect(
+        self,
+        address: Address,
+        expected_subject: Optional[str] = None,
+        attach: bool = True,
+    ) -> Generator:
+        """Open a channel (secure when the context says so) and attach."""
+        conn = yield from self.ctx.net.connect(self.host, address)
+        channel: Channel = conn
+        if self.ctx.security.mode is not SecurityMode.NONE:
+            ca = self.ctx.security.ca
+            if ca is None:
+                raise CallError("security enabled but no CA configured")
+            channel = yield from handshake_client(
+                conn, self._rng, ca.public_key, ca.name, expected_subject
+            )
+        connection = ServiceConnection(channel, self.principal)
+        if attach:
+            yield from self._attach(connection)
+        return connection
+
+    def _attach(self, connection: ServiceConnection) -> Generator:
+        attach_cmd = ACECmdLine("attach", principal=self.principal)
+        if (
+            self.ctx.security.mode is SecurityMode.SSL_KEYNOTE
+            and self.keypair is not None
+        ):
+            binding = channel_binding(connection.channel)
+            e, s = self.keypair.sign(f"attach:{self.principal}:{binding}")
+            attach_cmd = attach_cmd.with_args(sig_e=f"{e:x}", sig_s=f"{s:x}")
+        yield from connection.call(attach_cmd)
+
+    def call_once(self, address: Address, command: ACECmdLine, **connect_kw) -> Generator:
+        """Connect, call a single command, close.  Returns the reply."""
+        connection = yield from self.connect(address, **connect_kw)
+        try:
+            reply = yield from connection.call(command)
+        finally:
+            connection.close()
+        return reply

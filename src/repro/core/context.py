@@ -1,0 +1,85 @@
+"""Shared per-environment state every daemon is constructed with.
+
+The :class:`DaemonContext` bundles the simulation kernel, the network, RNG
+streams, the trace recorder, the well-known bootstrap addresses (§2.4: the
+ASD's "fixed socket location ... known to all ACE daemons"), and the
+security configuration (certificates, principal keys, KeyNote policies).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.net import Address, Network
+from repro.net.address import WellKnownPorts
+from repro.security.crypto import Certificate, CertificateAuthority, KeyPair
+from repro.security.keynote import Assertion
+from repro.sim import RngRegistry, Simulator, TraceRecorder
+
+
+class SecurityMode(enum.Enum):
+    """How much of Chapter 3 is switched on (experiment E5 sweeps this)."""
+
+    NONE = "none"              # plain sockets, claimed identities
+    SSL = "ssl"                # encrypted channels, server-authenticated
+    SSL_KEYNOTE = "ssl+keynote"  # + signed client attach + per-command KeyNote
+
+
+@dataclass
+class SecurityConfig:
+    mode: SecurityMode = SecurityMode.NONE
+    ca: Optional[CertificateAuthority] = None
+    #: principal id -> Schnorr public key (clients, users, services)
+    principal_keys: Dict[str, int] = field(default_factory=dict)
+    #: locally-trusted POLICY assertions installed on every daemon
+    policies: List[Assertion] = field(default_factory=list)
+    #: lookup credentials from the AuthDB service per command (Fig. 10)
+    #: instead of only using locally cached credentials
+    authdb_lookup: bool = True
+    #: seconds a fetched credential set stays cached (0 = refetch always)
+    credential_cache_ttl: float = 30.0
+
+    def register_principal(self, name: str, public_key: int) -> None:
+        self.principal_keys[name] = public_key
+
+
+@dataclass
+class DaemonContext:
+    """Everything a daemon needs to participate in an ACE."""
+
+    sim: Simulator
+    net: Network
+    rng: RngRegistry = field(default_factory=lambda: RngRegistry(0))
+    trace: TraceRecorder = field(default_factory=lambda: TraceRecorder(enabled=True))
+    security: SecurityConfig = field(default_factory=SecurityConfig)
+    #: bootstrap addresses (None = that infrastructure service is absent)
+    asd_address: Optional[Address] = None
+    roomdb_address: Optional[Address] = None
+    netlogger_address: Optional[Address] = None
+    authdb_address: Optional[Address] = None
+    #: lease the ASD grants to registered services, seconds (§2.4)
+    lease_duration: float = 30.0
+    #: renew after this fraction of the lease has elapsed
+    lease_renew_fraction: float = 0.5
+    #: CPU work charged per command dispatch, bogomips-seconds
+    dispatch_work: float = 2.0
+
+    def default_bootstrap(self, asd_host: str) -> None:
+        """Point the well-known addresses at conventional ports on one host."""
+        self.asd_address = Address(asd_host, WellKnownPorts.ASD)
+        self.roomdb_address = Address(asd_host, WellKnownPorts.ROOM_DB)
+        self.netlogger_address = Address(asd_host, WellKnownPorts.NET_LOGGER)
+        self.authdb_address = Address(asd_host, WellKnownPorts.AUTH_DB)
+
+    def issue_identity(self, subject: str) -> tuple[KeyPair, Optional[Certificate]]:
+        """Mint a keypair (+ certificate when a CA is configured) and record
+        the principal key so peers can verify signatures."""
+        if self.security.ca is not None:
+            keypair, cert = self.security.ca.issue_keypair(subject)
+        else:
+            keypair = KeyPair.generate(self.rng.py(f"identity.{subject}"))
+            cert = None
+        self.security.register_principal(keypair.principal(), keypair.public)
+        return keypair, cert

@@ -1,0 +1,647 @@
+"""The base ACE service daemon (§2.1, §2.1.1).
+
+Thread structure (all scheduled on the DES kernel, mirroring the paper's
+four Java threads):
+
+* **main thread** — initialization (Fig. 9: RoomDB → ASD → NetLogger),
+  then the lease-renewal loop.
+* **command threads** — one per client connection: read a command string,
+  parse + validate it against this daemon's semantics, authorize it
+  (Fig. 10), then hand it to the control thread over a message queue and
+  relay the reply.
+* **control thread** — executes commands serially via ``cmd_<name>``
+  handler methods and dispatches notifications (§2.5) after success.
+* **data thread** — drains the daemon's UDP socket and hands datagrams to
+  ``on_datagram`` (stream services override this; §2.1.1's "data stream
+  operations over a UDP channel").
+
+Subclassing recipe::
+
+    class PTZCameraDaemon(DeviceDaemon):
+        service_type = "PTZCamera"
+
+        def build_semantics(self, sem):
+            sem.define("setPosition", ArgSpec("x", ArgType.FLOAT), ...)
+
+        def cmd_setPosition(self, request):
+            ...                # plain method, or a generator that yields
+            return {"x": ...}  # merged into the cmdOk reply
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.lang import ACECmdLine, ACELanguageError, ArgSpec, ArgType, CommandSemantics
+from repro.lang.command import error_reply, ok_reply
+from repro.lang.semantics import reply_semantics
+from repro.net import Address, Connection, ConnectionClosed, ConnectionRefused, HandshakeError
+from repro.net.host import Host, HostDownError
+from repro.net.secure import handshake_server
+from repro.security.crypto import verify_signature
+from repro.security.keynote import ComplianceChecker, parse_assertion
+from repro.sim import Interrupt, Process, QueueClosed, Store
+
+from repro.core.client import Channel, ServiceClient, CallError, channel_binding
+from repro.core.context import DaemonContext, SecurityMode
+from repro.core.notifications import NotificationEntry, NotificationTable
+
+
+class ServiceError(Exception):
+    """Raised by handlers to produce a cmdFailed reply with a reason."""
+
+
+@dataclass
+class Request:
+    """An inbound command plus the identity it arrived under."""
+
+    command: ACECmdLine
+    principal: str
+    received_at: float
+    remote: Optional[Address] = None
+
+
+class ACEDaemon:
+    """Base class of every ACE service (root of the Fig. 6 hierarchy)."""
+
+    #: this class's segment of the service-class path (subclasses override)
+    service_type = "ACEService"
+
+    def __init__(
+        self,
+        ctx: DaemonContext,
+        name: str,
+        host: Host,
+        *,
+        port: Optional[int] = None,
+        room: str = "",
+        authorize_commands: Optional[bool] = None,
+        register_with_asd: bool = True,
+    ):
+        self.ctx = ctx
+        self.name = name
+        self.host = host
+        self.port = port if port is not None else ctx.net.ephemeral_port(host.name)
+        self.room = room or host.room
+        self.register_with_asd = register_with_asd
+        if authorize_commands is None:
+            authorize_commands = ctx.security.mode is SecurityMode.SSL_KEYNOTE
+        self.authorize_commands = authorize_commands
+
+        self.semantics = self._base_semantics()
+        self.build_semantics(self.semantics)
+        self.reply_semantics = reply_semantics()
+        self.notifications = NotificationTable()
+        self.running = False
+        self._listener = None
+        self._datagram = None
+        self._control_queue: Optional[Store] = None
+        self._main_proc: Optional[Process] = None
+        self._child_procs: List[Process] = []
+        self._credential_cache: Dict[str, tuple[float, list]] = {}
+        self._commands_served = 0
+
+        # Identity for SSL server handshakes and signed actions.
+        if ctx.security.mode is not SecurityMode.NONE and ctx.security.ca is not None:
+            self.keypair, self.certificate = ctx.issue_identity(name)
+        else:
+            self.keypair, self.certificate = None, None
+        self._hs_rng = ctx.rng.py(f"daemon.{name}.handshake")
+
+    # ------------------------------------------------------------------
+    # Hierarchy (Fig. 6)
+    # ------------------------------------------------------------------
+    @classmethod
+    def class_path(cls) -> str:
+        """Slash-joined service types from the root, e.g.
+        ``ACEService/Device/PTZCamera/VCC3``."""
+        parts: List[str] = []
+        for klass in reversed(cls.__mro__):
+            stype = klass.__dict__.get("service_type")
+            if stype and (not parts or parts[-1] != stype):
+                parts.append(stype)
+        return "/".join(parts)
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    def _base_semantics(self) -> CommandSemantics:
+        sem = CommandSemantics()
+        sem.define("ping", description="liveness probe")
+        sem.define("listCommands", description="enumerate this daemon's vocabulary")
+        sem.define("getInfo", description="name/host/port/class/room of this daemon")
+        sem.define(
+            "attach",
+            ArgSpec("principal", ArgType.STRING),
+            ArgSpec("sig_e", ArgType.STRING, required=False),
+            ArgSpec("sig_s", ArgType.STRING, required=False),
+            description="bind a client identity to this connection",
+        )
+        sem.define(
+            "addNotification",
+            ArgSpec("cmd", ArgType.WORD),
+            ArgSpec("listener", ArgType.STRING),
+            ArgSpec("host", ArgType.STRING),
+            ArgSpec("port", ArgType.INTEGER),
+            ArgSpec("callback", ArgType.WORD),
+            description="notify listener when cmd executes (§2.5)",
+        )
+        sem.define(
+            "removeNotification",
+            ArgSpec("cmd", ArgType.WORD),
+            ArgSpec("listener", ArgType.STRING),
+            ArgSpec("callback", ArgType.WORD, required=False),
+        )
+        return sem
+
+    def build_semantics(self, sem: CommandSemantics) -> None:
+        """Subclass hook: define this service's command vocabulary."""
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Address:
+        return Address(self.host.name, self.port)
+
+    def start(self) -> Process:
+        """Launch the daemon; returns the main-thread process."""
+        if self.running:
+            raise ServiceError(f"daemon {self.name!r} already running")
+        self.running = True
+        self._main_proc = self.ctx.sim.process(self._main_thread(), name=f"{self.name}.main")
+        return self._main_proc
+
+    def stop(self) -> Process:
+        """Graceful shutdown: deregister from the ASD, close sockets."""
+        return self.ctx.sim.process(self._shutdown(), name=f"{self.name}.stop")
+
+    def _shutdown(self) -> Generator:
+        if not self.running:
+            return
+        self.running = False
+        if self.register_with_asd and self.ctx.asd_address is not None and self.host.up:
+            try:
+                client = self._service_client()
+                yield from client.call_once(
+                    self.ctx.asd_address, ACECmdLine("deregister", name=self.name)
+                )
+            except (CallError, ConnectionClosed, Exception):
+                pass  # best effort; the lease will expire anyway
+        self._teardown()
+
+    def _teardown(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+        if self._datagram is not None:
+            self._datagram.close()
+        if self._control_queue is not None:
+            self._control_queue.close()
+        for proc in self._child_procs:
+            proc.interrupt("daemon stopped")
+
+    def _service_client(self) -> ServiceClient:
+        # Under SSL_KEYNOTE the daemon's identity is its key principal (the
+        # one POLICY assertions license); elsewhere the service name reads
+        # better in traces.
+        principal = self.keypair.principal() if self.keypair is not None else self.name
+        return ServiceClient(self.ctx, self.host, principal=principal, keypair=self.keypair)
+
+    # ------------------------------------------------------------------
+    # Main thread (startup sequence + lease renewal)
+    # ------------------------------------------------------------------
+    def _main_thread(self) -> Generator:
+        sim, net = self.ctx.sim, self.ctx.net
+        try:
+            self._listener = net.listen(self.host, self.port)
+            self._datagram = net.bind_datagram(self.host, self.port)
+            self._control_queue = Store(sim, name=f"{self.name}.control")
+            self._spawn(self._accept_loop(), "accept")
+            self._spawn(self._control_thread(), "control")
+            self._spawn(self._data_thread(), "data")
+            yield from self._startup_sequence()
+            self.on_started()
+            yield from self._lease_loop()
+        except (HostDownError, Interrupt):
+            self.running = False
+            self._teardown()
+        except QueueClosed:
+            pass
+
+    def _spawn(self, gen: Generator, tag: str) -> Process:
+        proc = self.ctx.sim.process(self._guard(gen), name=f"{self.name}.{tag}")
+        self._child_procs.append(proc)
+        return proc
+
+    @staticmethod
+    def _guard(gen: Generator) -> Generator:
+        """Child threads die quietly on shutdown interrupts / host death /
+        closed queues; real bugs still crash loudly."""
+        try:
+            result = yield from gen
+            return result
+        except (Interrupt, HostDownError, QueueClosed):
+            return None
+
+    def on_started(self) -> None:
+        """Subclass hook: called once initialization completes."""
+
+    def _startup_sequence(self) -> Generator:
+        """Fig. 9: RoomDB (2) → ASD register (3) → NetLogger (5)."""
+        trace = self.ctx.trace
+        trace.emit(self.ctx.sim.now, self.name, "daemon-launch", host=self.host.name)
+        client = self._service_client()
+        if self.ctx.roomdb_address is not None and self.room:
+            try:
+                yield from client.call_once(
+                    self.ctx.roomdb_address,
+                    ACECmdLine(
+                        "registerService",
+                        service=self.name,
+                        room=self.room,
+                        host=self.host.name,
+                        port=self.port,
+                    ),
+                )
+                trace.emit(self.ctx.sim.now, self.name, "roomdb-registered", room=self.room)
+            except (CallError, ConnectionClosed, ConnectionRefused) as exc:
+                trace.emit(self.ctx.sim.now, self.name, "roomdb-unavailable", error=str(exc))
+        if self.register_with_asd and self.ctx.asd_address is not None:
+            # Daemons launched at boot may beat the ASD onto the network
+            # (§2.6); retry with backoff before giving up loudly.
+            attempts = 0
+            while True:
+                try:
+                    yield from client.call_once(self.ctx.asd_address, self._registration_command())
+                    break
+                except (CallError, ConnectionClosed, Exception):
+                    attempts += 1
+                    if attempts >= 5:
+                        raise
+                    yield self.ctx.sim.timeout(0.5 * attempts)
+            trace.emit(self.ctx.sim.now, self.name, "asd-registered", cls=self.class_path())
+        if self.ctx.netlogger_address is not None:
+            try:
+                yield from client.call_once(
+                    self.ctx.netlogger_address,
+                    ACECmdLine(
+                        "logEvent",
+                        source=self.name,
+                        event="service_started",
+                        detail=f"host={self.host.name} port={self.port}",
+                    ),
+                )
+                trace.emit(self.ctx.sim.now, self.name, "netlogger-logged")
+            except (CallError, ConnectionClosed, ConnectionRefused) as exc:
+                trace.emit(self.ctx.sim.now, self.name, "netlogger-unavailable", error=str(exc))
+        trace.emit(self.ctx.sim.now, self.name, "daemon-ready")
+
+    def _registration_command(self) -> ACECmdLine:
+        return ACECmdLine(
+            "register",
+            name=self.name,
+            host=self.host.name,
+            port=self.port,
+            room=self.room or "unassigned",
+            cls=self.class_path(),
+        )
+
+    def _lease_loop(self) -> Generator:
+        """Renew the ASD lease at the configured fraction of its duration."""
+        interval = self.ctx.lease_duration * self.ctx.lease_renew_fraction
+        client = self._service_client()
+        while self.running:
+            yield self.ctx.sim.timeout(interval)
+            if not self.running:
+                return
+            if not (self.register_with_asd and self.ctx.asd_address is not None):
+                continue
+            try:
+                reply = yield from client.call_once(
+                    self.ctx.asd_address,
+                    ACECmdLine("renewLease", name=self.name),
+                    attach=False,
+                )
+                del reply
+            except (CallError, ConnectionClosed, ConnectionRefused):
+                # Lease lapsed or ASD restarted: re-register from scratch.
+                try:
+                    yield from client.call_once(self.ctx.asd_address, self._registration_command())
+                    self.ctx.trace.emit(self.ctx.sim.now, self.name, "asd-reregistered")
+                except (CallError, ConnectionClosed, ConnectionRefused):
+                    self.ctx.trace.emit(self.ctx.sim.now, self.name, "asd-unreachable")
+
+    # ------------------------------------------------------------------
+    # Command threads
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> Generator:
+        while self.running:
+            try:
+                conn = yield from self._listener.accept()
+            except (ConnectionClosed, QueueClosed):
+                return
+            self._spawn(self._command_thread(conn), f"cmd:{conn.remote}")
+
+    def _command_thread(self, conn: Connection) -> Generator:
+        channel: Channel = conn
+        if self.ctx.security.mode is not SecurityMode.NONE:
+            if self.keypair is None or self.certificate is None:
+                conn.close()
+                return
+            try:
+                channel = yield from handshake_server(
+                    conn, self._hs_rng, self.keypair, self.certificate
+                )
+            except (HandshakeError, ConnectionClosed):
+                conn.close()
+                return
+        principal = "anonymous"
+        attached = False
+        while self.running:
+            try:
+                text = yield from channel.recv()
+            except (ConnectionClosed, HandshakeError):
+                return
+            except Interrupt:
+                channel.close()
+                return
+            try:
+                command = self.semantics.validate(self._parse(text))
+            except ACELanguageError as exc:
+                yield from self._safe_send(channel, f'cmdFailed cmd=parse reason="{_clean(exc)}";')
+                continue
+            if command.name == "attach":
+                principal, attached, problem = self._handle_attach(command, channel)
+                reply = (
+                    ok_reply(command, principal=principal)
+                    if problem is None
+                    else error_reply(command, problem)
+                )
+                yield from self._safe_send(channel, reply.to_string())
+                continue
+            request = Request(
+                command=command,
+                principal=principal if attached else "anonymous",
+                received_at=self.ctx.sim.now,
+                remote=channel.remote,
+            )
+            if self.authorize_commands and command.name != "ping":
+                allowed, reason = yield from self._authorize(request)
+                if not allowed:
+                    yield from self._safe_send(
+                        channel, error_reply(command, f"permission denied: {reason}").to_string()
+                    )
+                    continue
+            reply_slot = self.ctx.sim.event()
+            try:
+                yield self._control_queue.put((request, reply_slot))
+            except QueueClosed:
+                return
+            reply = yield reply_slot
+            yield from self._safe_send(channel, reply.to_string())
+
+    def _parse(self, text: Any) -> ACECmdLine:
+        if not isinstance(text, str):
+            raise ACELanguageError(f"expected a command string, got {type(text).__name__}")
+        from repro.lang import parse_command
+
+        return parse_command(text)
+
+    def _safe_send(self, channel: Channel, text: str) -> Generator:
+        try:
+            yield from channel.send(text)
+        except (ConnectionClosed, HostDownError):
+            pass
+
+    def _handle_attach(self, command: ACECmdLine, channel: Channel):
+        principal = command.str("principal")
+        # Identity proof only matters where commands are authorized; the
+        # bootstrap services (ASD/AuthDB/...) accept claimed identities.
+        if self.ctx.security.mode is SecurityMode.SSL_KEYNOTE and self.authorize_commands:
+            sig_e, sig_s = command.get("sig_e"), command.get("sig_s")
+            public = self.ctx.security.principal_keys.get(principal)
+            if sig_e is None or sig_s is None:
+                return principal, False, "attach requires a signature"
+            if public is None:
+                return principal, False, f"unknown principal {principal}"
+            message = f"attach:{principal}:{channel_binding(channel)}"
+            try:
+                signature = (int(sig_e, 16), int(sig_s, 16))
+            except ValueError:
+                return principal, False, "malformed attach signature"
+            if not verify_signature(public, message, signature):
+                return principal, False, "attach signature invalid"
+        return principal, True, None
+
+    # ------------------------------------------------------------------
+    # Authorization (Fig. 10)
+    # ------------------------------------------------------------------
+    def _authorize(self, request: Request) -> Generator:
+        attrs: Dict[str, Any] = {
+            "app_domain": "ace",
+            "service": self.name,
+            "service_class": self.service_type,
+            "command": request.command.name,
+        }
+        for key, value in request.command:
+            if isinstance(value, (int, float, str)) and key not in attrs:
+                attrs[key] = value if isinstance(value, str) else str(value)
+        credentials = yield from self._fetch_credentials(request.principal)
+        checker = ComplianceChecker(
+            list(self.ctx.security.policies) + credentials,
+            principal_keys=self.ctx.security.principal_keys,
+        )
+        if checker.authorized([request.principal], attrs):
+            return True, ""
+        return False, f"{request.principal} may not {request.command.name} on {self.name}"
+
+    def _fetch_credentials(self, principal: str) -> Generator:
+        """Fig. 10 steps 2–4: ask the Authorization DB for the principal's
+        credentials (with a small cache so E5 can sweep the cost)."""
+        cfg = self.ctx.security
+        if not cfg.authdb_lookup or self.ctx.asd_address is None:
+            return []
+        cached = self._credential_cache.get(principal)
+        now = self.ctx.sim.now
+        if cached is not None and now - cached[0] <= cfg.credential_cache_ttl:
+            return cached[1]
+        authdb_addr = getattr(self.ctx, "authdb_address", None)
+        if authdb_addr is None:
+            return []
+        try:
+            client = self._service_client()
+            reply = yield from client.call_once(
+                authdb_addr,
+                ACECmdLine("getCredentials", principal=principal),
+                attach=False,
+            )
+        except (CallError, ConnectionClosed):
+            return []
+        from repro.services.authdb import decode_credential
+
+        texts = reply.get("credentials", ())
+        credentials = []
+        for text in texts if isinstance(texts, tuple) else ():
+            try:
+                credentials.append(parse_assertion(decode_credential(text)))
+            except Exception:
+                continue
+        self._credential_cache[principal] = (now, credentials)
+        return credentials
+
+    # ------------------------------------------------------------------
+    # Control thread
+    # ------------------------------------------------------------------
+    def _control_thread(self) -> Generator:
+        while self.running:
+            try:
+                request, reply_slot = yield self._control_queue.get()
+            except QueueClosed:
+                return
+            try:
+                yield from self.host.execute(self.ctx.dispatch_work)
+                reply = yield from self._execute(request)
+            except ServiceError as exc:
+                reply = error_reply(request.command, str(exc))
+            except HostDownError:
+                return
+            except Interrupt:
+                return
+            except ACELanguageError as exc:
+                reply = error_reply(request.command, _clean(exc))
+            self._commands_served += 1
+            if not reply_slot.triggered:
+                reply_slot.succeed(reply)
+            if reply.name == "cmdOk":
+                self._spawn_notifications(request)
+
+    def _execute(self, request: Request) -> Generator:
+        name = request.command.name
+        if name == "addNotification":
+            return self._builtin_add_notification(request)
+        if name == "removeNotification":
+            return self._builtin_remove_notification(request)
+        if name == "ping":
+            return ok_reply(request.command, time=float(self.ctx.sim.now))
+        if name == "listCommands":
+            return ok_reply(request.command, commands=tuple(self.semantics.commands()))
+        if name == "getInfo":
+            return ok_reply(
+                request.command,
+                name=self.name,
+                host=self.host.name,
+                port=self.port,
+                room=self.room or "unassigned",
+                cls=self.class_path(),
+            )
+        handler = getattr(self, f"cmd_{name}", None)
+        if handler is None:
+            return error_reply(request.command, f"no handler for {name!r}")
+        result = handler(request)
+        if inspect.isgenerator(result):
+            result = yield from result
+        if isinstance(result, ACECmdLine):
+            return result
+        return ok_reply(request.command, **(result or {}))
+
+    def self_execute(self, command: ACECmdLine) -> Generator:
+        """Run one of our own commands through the normal execute path
+        (inline, so it is safe from inside a handler) and fire its
+        notifications.  Used by device daemons that emit event commands
+        (e.g. the FIU's ``identified``)."""
+        command = self.semantics.validate(command)
+        request = Request(command=command, principal=self.name, received_at=self.ctx.sim.now)
+        reply = yield from self._execute(request)
+        if reply.name == "cmdOk":
+            self._commands_served += 1
+            self._spawn_notifications(request)
+        return reply
+
+    # -- built-in notification management ----------------------------------
+    def _builtin_add_notification(self, request: Request) -> ACECmdLine:
+        cmd = request.command
+        watched = cmd.str("cmd")
+        if watched not in self.semantics:
+            return error_reply(cmd, f"cannot watch unknown command {watched!r}")
+        entry = NotificationEntry(
+            command=watched,
+            listener=cmd.str("listener"),
+            address=Address(cmd.str("host"), cmd.int("port")),
+            callback=cmd.str("callback"),
+        )
+        added = self.notifications.add(entry)
+        return ok_reply(cmd, added=1 if added else 0)
+
+    def _builtin_remove_notification(self, request: Request) -> ACECmdLine:
+        cmd = request.command
+        removed = self.notifications.remove(
+            cmd.str("cmd"), cmd.str("listener"), cmd.str("callback", "")
+        )
+        return ok_reply(cmd, removed=removed)
+
+    def _spawn_notifications(self, request: Request) -> None:
+        entries = self.notifications.listeners(request.command.name)
+        if not entries:
+            return
+        payload = request.command.to_string()
+        for entry in entries:
+            self._spawn(self._deliver_notification(entry, request, payload), "notify")
+
+    def _deliver_notification(self, entry: NotificationEntry, request: Request, payload: str) -> Generator:
+        """Invoke the listener's callback command (Fig. 8 step 3)."""
+        notification = ACECmdLine(
+            entry.callback,
+            source=self.name,
+            trigger=request.command.name,
+            principal=request.principal,
+            args=payload,
+        )
+        client = self._service_client()
+        try:
+            yield from client.call_once(entry.address, notification, attach=True)
+            self.ctx.trace.emit(
+                self.ctx.sim.now, self.name, "notification-delivered",
+                listener=entry.listener, cmd=request.command.name,
+            )
+        except (CallError, ConnectionClosed, ConnectionRefused, HostDownError, Interrupt):
+            # Paper: dead listeners get purged so future triggers don't stall.
+            self.notifications.remove_listener(entry.listener)
+            self.ctx.trace.emit(
+                self.ctx.sim.now, self.name, "notification-failed", listener=entry.listener
+            )
+
+    # ------------------------------------------------------------------
+    # Data thread
+    # ------------------------------------------------------------------
+    def _data_thread(self) -> Generator:
+        while self.running:
+            try:
+                source, payload = yield from self._datagram.recv()
+            except (ConnectionClosed, QueueClosed):
+                return
+            except Interrupt:
+                return
+            result = self.on_datagram(source, payload)
+            if inspect.isgenerator(result):
+                yield from result
+
+    def on_datagram(self, source: Address, payload: Any):
+        """Subclass hook for stream data (may be a plain method or generator)."""
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def commands_served(self) -> int:
+        return self._commands_served
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "running" if self.running else "stopped"
+        return f"<{type(self).__name__} {self.name} @{self.address} {state}>"
+
+
+def _clean(exc: Exception) -> str:
+    """Exception text safe to embed in a quoted ACE string."""
+    return str(exc).replace('"', "'").replace("\n", " ")[:200]

@@ -1,0 +1,77 @@
+"""Daemon notification lists (§2.5, Fig. 8).
+
+Every ACE daemon can be told, via ``addNotification``, to notify another
+service whenever a given command executes.  The table maps *watched command
+name* → list of (listener address, callback command name).  Dispatch
+happens in the control thread after the watched command succeeds: the
+daemon sends ``<callback> source=<me> trigger=<cmd> ...args`` to each
+listener, which the paper describes as "the listed interface methods are
+invoked on those services".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.net import Address
+
+
+@dataclass(frozen=True)
+class NotificationEntry:
+    """One registered listener."""
+
+    command: str          # the command being watched
+    listener: str         # service name of the listener (for bookkeeping)
+    address: Address      # where to deliver
+    callback: str         # command name to invoke on the listener
+
+
+class NotificationTable:
+    """The 'running list of which services to notify' (Fig. 8)."""
+
+    def __init__(self) -> None:
+        self._by_command: Dict[str, List[NotificationEntry]] = {}
+
+    def add(self, entry: NotificationEntry) -> bool:
+        """Register; returns False if an identical entry already exists."""
+        entries = self._by_command.setdefault(entry.command, [])
+        if entry in entries:
+            return False
+        entries.append(entry)
+        return True
+
+    def remove(self, command: str, listener: str, callback: str = "") -> int:
+        """Drop matching entries; empty callback matches any.  Returns count."""
+        entries = self._by_command.get(command, [])
+        keep = [
+            e
+            for e in entries
+            if not (e.listener == listener and (not callback or e.callback == callback))
+        ]
+        removed = len(entries) - len(keep)
+        if keep:
+            self._by_command[command] = keep
+        else:
+            self._by_command.pop(command, None)
+        return removed
+
+    def remove_listener(self, listener: str) -> int:
+        """Drop every entry for a listener (e.g. after delivery failures)."""
+        removed = 0
+        for command in list(self._by_command):
+            removed += self.remove(command, listener)
+        return removed
+
+    def listeners(self, command: str) -> List[NotificationEntry]:
+        return list(self._by_command.get(command, ()))
+
+    def watched_commands(self) -> List[str]:
+        return sorted(self._by_command)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_command.values())
+
+    def entries(self) -> Iterable[NotificationEntry]:
+        for command in sorted(self._by_command):
+            yield from self._by_command[command]

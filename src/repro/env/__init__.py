@@ -1,0 +1,12 @@
+"""Environment composition: declaratively build and boot a whole ACE.
+
+:class:`~repro.env.environment.ACEEnvironment` wires the simulation kernel,
+network, security material, infrastructure services, per-host monitors and
+launchers, devices, and users into one runnable object; the scenario
+drivers in :mod:`repro.env.scenarios` replay Chapter 7 on top of it.
+"""
+
+from repro.env.environment import ACEEnvironment
+from repro.env.users import UserIdentity
+
+__all__ = ["ACEEnvironment", "UserIdentity"]

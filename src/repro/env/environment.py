@@ -1,0 +1,368 @@
+"""The ACE environment builder.
+
+Composes everything the scenarios, examples, and benchmarks need::
+
+    env = ACEEnvironment(seed=1)
+    env.add_infrastructure()                       # ASD/RoomDB/... on "infra"
+    env.add_room("hawk", building="nichols", dims=(10, 8, 3))
+    bar = env.add_workstation("bar", room="hawk")  # host + HRM + HAL
+    env.add_device(VCC4CameraDaemon, "camera.hawk", bar, room="hawk")
+    env.boot()                                     # start in dependency order
+
+Daemon start order follows the boot dependencies of Fig. 9: the ASD,
+RoomDB, and NetLogger come up first, then databases, then monitors and
+launchers, then everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple, Type
+
+from repro.net import Address, Host, Network
+from repro.net.address import WellKnownPorts
+from repro.security.crypto import CertificateAuthority, KeyPair
+from repro.security.keynote import Assertion
+from repro.sim import RngRegistry, Simulator, TraceRecorder
+
+from repro.apps.factories import build_registry
+from repro.apps.runner import AppRegistry
+from repro.core.client import ServiceClient
+from repro.core.context import DaemonContext, SecurityMode
+from repro.core.daemon import ACEDaemon
+from repro.env.users import UserIdentity
+from repro.services.asd import ServiceDirectoryDaemon
+from repro.services.aud import UserDatabaseDaemon
+from repro.services.authdb import AuthorizationDatabaseDaemon
+from repro.services.fiu import FingerprintUnitDaemon, make_template
+from repro.services.hal import HostApplicationLauncherDaemon
+from repro.services.hrm import HostResourceMonitorDaemon
+from repro.services.ibutton import IButtonReaderDaemon
+from repro.services.idmon import IDMonitorDaemon
+from repro.services.netlogger import NetworkLoggerDaemon
+from repro.services.roomdb import RoomDatabaseDaemon
+from repro.services.sal import SystemApplicationLauncherDaemon
+from repro.services.srm import SystemResourceMonitorDaemon
+from repro.services.wss import WorkspaceServerDaemon
+
+#: boot tiers: daemons start tier by tier (Fig. 9 dependencies)
+_TIER_BOOTSTRAP = 0   # ASD, RoomDB, NetLogger
+_TIER_DATABASE = 1    # AuthDB, AUD
+_TIER_MONITOR = 2     # HRMs, HALs
+_TIER_SYSTEM = 3      # SRM, SAL, WSS, IDMon
+_TIER_SERVICE = 4     # devices and everything else
+
+
+class ACEEnvironment:
+    """One complete simulated ACE installation."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        security: SecurityMode = SecurityMode.NONE,
+        lease_duration: float = 30.0,
+        trace: bool = True,
+        net_kwargs: Optional[dict] = None,
+    ):
+        self.sim = Simulator()
+        self.rng = RngRegistry(seed)
+        self.trace = TraceRecorder(enabled=trace)
+        self.net = Network(self.sim, self.rng, self.trace, **(net_kwargs or {}))
+        self.ctx = DaemonContext(
+            sim=self.sim, net=self.net, rng=self.rng, trace=self.trace,
+            lease_duration=lease_duration,
+        )
+        self.ctx.security.mode = security
+        if security is not SecurityMode.NONE:
+            self.ctx.security.ca = CertificateAuthority(self.rng.py("env.ca"))
+        self.registry: AppRegistry = build_registry(self.ctx)
+        self.daemons: Dict[str, ACEDaemon] = {}
+        self._tiers: Dict[str, int] = {}
+        self.users: Dict[str, UserIdentity] = {}
+        self.rooms: List[Tuple[str, str, Tuple[float, float, float]]] = []
+        self._booted = False
+        self._admin_keypair: Optional[KeyPair] = None
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def add_host(self, name: str, **kwargs) -> Host:
+        return self.net.make_host(name, **kwargs)
+
+    def add_workstation(
+        self, name: str, *, room: str = "", segment: str = "lan",
+        bogomips: float = 800.0, cores: int = 1, monitors: bool = True, **kwargs,
+    ) -> Host:
+        """A host with the per-host services (HRM + HAL) pre-attached."""
+        host = self.net.make_host(
+            name, room=room, segment=segment, bogomips=bogomips, cores=cores, **kwargs
+        )
+        if monitors:
+            self.add_daemon(
+                HostResourceMonitorDaemon(self.ctx, f"hrm.{name}", host, room=room),
+                tier=_TIER_MONITOR,
+            )
+            self.add_daemon(
+                HostApplicationLauncherDaemon(
+                    self.ctx, f"hal.{name}", host, room=room, registry=self.registry
+                ),
+                tier=_TIER_MONITOR,
+            )
+        return host
+
+    def add_room(self, name: str, building: str = "", dims: Tuple[float, float, float] = (0, 0, 0)) -> None:
+        self.rooms.append((name, building, tuple(float(v) for v in dims)))
+
+    # ------------------------------------------------------------------
+    # Daemons
+    # ------------------------------------------------------------------
+    def add_daemon(self, daemon: ACEDaemon, tier: int = _TIER_SERVICE) -> ACEDaemon:
+        if daemon.name in self.daemons:
+            raise ValueError(f"duplicate daemon name {daemon.name!r}")
+        self.daemons[daemon.name] = daemon
+        self._tiers[daemon.name] = tier
+        if self._booted:
+            daemon.start()
+        return daemon
+
+    def add_device(self, daemon_class: Type[ACEDaemon], name: str, host: Host,
+                   room: str = "", **kwargs) -> ACEDaemon:
+        return self.add_daemon(
+            daemon_class(self.ctx, name, host, room=room or host.room, **kwargs)
+        )
+
+    def add_infrastructure(
+        self,
+        host_name: str = "infra",
+        *,
+        room: str = "machineroom",
+        bogomips: float = 1600.0,
+        cores: int = 2,
+        with_wss: bool = True,
+        with_idmon: bool = True,
+        sal_placement: str = "srm",
+        srm_poll_interval: float = 5.0,
+    ) -> Host:
+        """The standard service stack on one (beefier) machine."""
+        host = self.add_workstation(
+            host_name, room=room, bogomips=bogomips, cores=cores
+        )
+        self.ctx.default_bootstrap(host_name)
+        self.add_daemon(
+            ServiceDirectoryDaemon(self.ctx, "asd", host, port=WellKnownPorts.ASD, room=room),
+            tier=_TIER_BOOTSTRAP,
+        )
+        self.add_daemon(
+            RoomDatabaseDaemon(self.ctx, "roomdb", host, port=WellKnownPorts.ROOM_DB, room=room),
+            tier=_TIER_BOOTSTRAP,
+        )
+        self.add_daemon(
+            NetworkLoggerDaemon(self.ctx, "netlogger", host, port=WellKnownPorts.NET_LOGGER, room=room),
+            tier=_TIER_BOOTSTRAP,
+        )
+        self.add_daemon(
+            AuthorizationDatabaseDaemon(self.ctx, "authdb", host, port=WellKnownPorts.AUTH_DB, room=room),
+            tier=_TIER_DATABASE,
+        )
+        self.add_daemon(
+            UserDatabaseDaemon(self.ctx, "aud", host, port=WellKnownPorts.USER_DB, room=room),
+            tier=_TIER_DATABASE,
+        )
+        self.add_daemon(
+            SystemResourceMonitorDaemon(self.ctx, "srm", host, room=room,
+                                        poll_interval=srm_poll_interval),
+            tier=_TIER_SYSTEM,
+        )
+        self.add_daemon(
+            SystemApplicationLauncherDaemon(self.ctx, "sal", host, room=room,
+                                            placement=sal_placement),
+            tier=_TIER_SYSTEM,
+        )
+        if with_wss:
+            self.add_daemon(
+                WorkspaceServerDaemon(self.ctx, "wss", host, room=room),
+                tier=_TIER_SYSTEM,
+            )
+        if with_idmon:
+            self.add_daemon(
+                IDMonitorDaemon(self.ctx, "idmon", host, room=room),
+                tier=_TIER_SYSTEM,
+            )
+        return host
+
+    def add_persistent_store(
+        self, replicas: int = 3, *, host_prefix: str = "store",
+        sync_interval: float = 5.0, bogomips: float = 1200.0,
+    ) -> List[ACEDaemon]:
+        """Fig. 17: a cluster of redundant store servers on separate hosts."""
+        from repro.store.server import PersistentStoreDaemon
+
+        daemons: List[ACEDaemon] = []
+        for i in range(replicas):
+            host = self.add_workstation(
+                f"{host_prefix}{i + 1}", room="machineroom",
+                bogomips=bogomips, monitors=False,
+            )
+            daemon = PersistentStoreDaemon(
+                self.ctx, f"ps{i + 1}", host,
+                port=WellKnownPorts.PERSISTENT_STORE + i,
+                room="machineroom", sync_interval=sync_interval,
+            )
+            self.add_daemon(daemon, tier=_TIER_DATABASE)
+            daemons.append(daemon)
+        addresses = [d.address for d in daemons]
+        for daemon in daemons:
+            daemon.set_peers(addresses)
+        return daemons
+
+    def store_client(self, host: Host, principal: str = "store-client", **kwargs):
+        from repro.store.client import StoreClient
+
+        replicas = sorted(
+            (d.address for d in self.daemons.values()
+             if type(d).__name__ == "PersistentStoreDaemon"),
+            key=str,
+        )
+        return StoreClient(self.ctx, host, replicas, principal=principal, **kwargs)
+
+    def add_id_devices(self, host: Host, room: str = "") -> Tuple[ACEDaemon, ACEDaemon]:
+        """A fingerprint scanner + iButton reader at an access point."""
+        room = room or host.room
+        fiu = self.add_device(FingerprintUnitDaemon, f"fiu.{host.name}", host, room=room)
+        reader = self.add_device(IButtonReaderDaemon, f"ibutton.{host.name}", host, room=room)
+        return fiu, reader
+
+    # ------------------------------------------------------------------
+    # Users & policy
+    # ------------------------------------------------------------------
+    def create_identity(self, username: str, fullname: str = "", password: str = "secret") -> UserIdentity:
+        """Mint enrollment material (not yet registered with the AUD)."""
+        template = make_template(self.rng.np(f"user.{username}.fingerprint"))
+        serial = "ib-%010x" % self.rng.py(f"user.{username}.ibutton").getrandbits(40)
+        keypair = None
+        if self.ctx.security.mode is not SecurityMode.NONE:
+            keypair = KeyPair.generate(self.rng.py(f"user.{username}.key"))
+            self.ctx.security.register_principal(keypair.principal(), keypair.public)
+        identity = UserIdentity(
+            username=username, fullname=fullname, password=password,
+            fingerprint_template=template, ibutton_serial=serial, keypair=keypair,
+        )
+        self.users[username] = identity
+        return identity
+
+    def register_user_direct(self, identity: UserIdentity) -> None:
+        """Fast path: insert into the AUD without the wire (boot-time setup).
+        Scenario 1 shows the over-the-wire admin flow instead."""
+        from repro.services.aud import UserRecord
+
+        aud = self.daemons.get("aud")
+        if aud is None:
+            raise RuntimeError("add_infrastructure() first")
+        aud.users[identity.username] = UserRecord(
+            username=identity.username,
+            fullname=identity.fullname,
+            password_hash=aud.hash_password(identity.password),
+            ibutton_serial=identity.ibutton_serial,
+            fingerprint_template=identity.fingerprint_template,
+            public_key=identity.keypair.public if identity.keypair else 0,
+        )
+
+    def admin_keypair(self) -> KeyPair:
+        """The installation administrator's signing key (lazy, with a
+        POLICY assertion trusting it)."""
+        if self._admin_keypair is None:
+            self._admin_keypair = KeyPair.generate(self.rng.py("env.admin"))
+            self.ctx.security.register_principal(
+                self._admin_keypair.principal(), self._admin_keypair.public
+            )
+            self.ctx.security.policies.append(
+                Assertion("POLICY", f'"{self._admin_keypair.principal()}"',
+                          'app_domain == "ace"')
+            )
+        return self._admin_keypair
+
+    def trust_all_services(self) -> None:
+        """Policy: every service principal may command every service.
+
+        Installed automatically at boot in SSL_KEYNOTE mode — inter-daemon
+        calls (notifications, SAL→HAL, ...) must flow."""
+        principals = [
+            d.keypair.principal() for d in self.daemons.values() if d.keypair is not None
+        ]
+        if principals:
+            licensees = " || ".join(f'"{p}"' for p in principals)
+            self.ctx.security.policies.append(
+                Assertion("POLICY", licensees, 'app_domain == "ace"')
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def boot(self, settle: float = 2.0) -> "ACEEnvironment":
+        """Start all daemons tier by tier and let registrations settle."""
+        if self._booted:
+            raise RuntimeError("environment already booted")
+        self._booted = True
+        if self.ctx.security.mode is SecurityMode.SSL_KEYNOTE:
+            self.trust_all_services()
+        for tier in range(_TIER_SERVICE + 1):
+            for name, daemon in self.daemons.items():
+                if self._tiers[name] == tier:
+                    daemon.start()
+            self.sim.run(until=self.sim.now + settle / 4)
+            if tier == _TIER_BOOTSTRAP and self.rooms and "roomdb" in self.daemons:
+                # Administrative room setup happens right after the RoomDB
+                # is up, before any room-aware daemon starts.
+                self.sim.run_process(self._register_rooms(), timeout=30.0)
+        self.sim.run(until=self.sim.now + settle)
+        return self
+
+    def _register_rooms(self) -> Generator:
+        from repro.lang import ACECmdLine
+
+        client = self.client(self.daemons["roomdb"].host, principal="env-admin")
+        for name, building, dims in self.rooms:
+            yield from client.call_once(
+                self.ctx.roomdb_address,
+                ACECmdLine("registerRoom", room=name, building=building,
+                           dims=tuple(dims) if any(dims) else (1.0, 1.0, 1.0)),
+            )
+
+    def client(self, host: Host, principal: str = "anonymous",
+               keypair: Optional[KeyPair] = None) -> ServiceClient:
+        return ServiceClient(self.ctx, host, principal=principal, keypair=keypair)
+
+    def authorized_client(self, host: Host, name: str,
+                          conditions: str = 'app_domain == "ace"') -> ServiceClient:
+        """A client with a fresh keypair that POLICY trusts directly.
+
+        The SSL_KEYNOTE convenience for tools/GUIs: mints a keypair,
+        registers the principal, installs a POLICY assertion with the given
+        conditions, and returns a signing ServiceClient."""
+        keypair = KeyPair.generate(self.rng.py(f"authorized.{name}"))
+        self.ctx.security.register_principal(keypair.principal(), keypair.public)
+        self.ctx.security.policies.append(
+            Assertion("POLICY", f'"{keypair.principal()}"', conditions)
+        )
+        return ServiceClient(self.ctx, host, principal=keypair.principal(),
+                             keypair=keypair)
+
+    def user_client(self, host: Host, identity: UserIdentity) -> ServiceClient:
+        return ServiceClient(
+            self.ctx, host, principal=identity.principal, keypair=identity.keypair
+        )
+
+    def run(self, generator: Generator, timeout: float = 300.0):
+        """Run a scenario coroutine to completion; returns its value."""
+        return self.sim.run_process(generator, timeout=timeout)
+
+    def run_for(self, seconds: float) -> None:
+        self.sim.run(until=self.sim.now + seconds)
+
+    def daemon(self, name: str) -> ACEDaemon:
+        return self.daemons[name]
+
+    @property
+    def asd_address(self) -> Address:
+        assert self.ctx.asd_address is not None
+        return self.ctx.asd_address

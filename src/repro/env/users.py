@@ -1,0 +1,27 @@
+"""User identities: everything Scenario 1 registers for a new ACE user."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.security.crypto import KeyPair
+
+
+@dataclass
+class UserIdentity:
+    """A human user's enrollment material."""
+
+    username: str
+    fullname: str = ""
+    password: str = ""
+    fingerprint_template: Tuple[float, ...] = ()
+    ibutton_serial: str = ""
+    keypair: Optional[KeyPair] = None
+
+    @property
+    def principal(self) -> str:
+        """KeyNote principal id (the key when present, else the username)."""
+        if self.keypair is not None:
+            return self.keypair.principal()
+        return f"user:{self.username}"

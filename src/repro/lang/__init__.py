@@ -1,0 +1,45 @@
+"""The ACE service command language (§2.2 of the paper).
+
+Every command issued to an ACE service is built as an
+:class:`~repro.lang.command.ACECmdLine` object, serialized to a string,
+transmitted, and re-parsed on the receiving side against that daemon's
+*command semantics* (Fig. 5).  The grammar is the paper's, verbatim::
+
+    <CMND>     := <CMNDNAME><space>[<ARGLIST>];
+    <ARGUMENT> := <ARGNAME>'='<ARGVALUE>
+    <ARGVALUE> := <INTEGER> | <FLOAT> | <WORD> | <STRING> | <VECTOR> | <ARRAY>
+    <VECTOR>   := {v1,v2,...}          (homogeneous element types)
+    <ARRAY>    := {<VECTOR>,<VECTOR>,...}
+
+The implementation guarantees ``parse(serialize(cmd)) == cmd`` (verified by
+property tests), which is what lets the two daemons in Fig. 5 reconstruct
+an *exact copy* of the sender's ACECmdLine.
+"""
+
+from repro.lang.command import ACECmdLine
+from repro.lang.errors import (
+    ACELanguageError,
+    ParseError,
+    SemanticError,
+)
+from repro.lang.lexer import Token, TokenKind, tokenize
+from repro.lang.parser import CommandParser, parse_command
+from repro.lang.semantics import ArgSpec, ArgType, CommandSemantics, infer_type
+from repro.lang.values import format_value
+
+__all__ = [
+    "ACECmdLine",
+    "ACELanguageError",
+    "ArgSpec",
+    "ArgType",
+    "CommandParser",
+    "CommandSemantics",
+    "ParseError",
+    "SemanticError",
+    "Token",
+    "TokenKind",
+    "format_value",
+    "infer_type",
+    "parse_command",
+    "tokenize",
+]

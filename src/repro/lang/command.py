@@ -1,0 +1,158 @@
+"""The ACECmdLine object (§2.2): name + ordered named arguments.
+
+Commands are immutable once built.  ``str(cmd)`` is the wire form; commands
+compare equal iff their names and argument mappings (including value types:
+``1`` is an INTEGER, ``1.0`` a FLOAT) are equal, which is exactly the
+"exact copy" the paper's Fig. 5 promises the receiving daemon.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.lang.errors import ACELanguageError, SemanticError
+from repro.lang.values import Value, format_value, normalize_value
+
+_NAME_OK = __import__("re").compile(r"^[A-Za-z0-9_]+$")
+
+
+class ACECmdLine:
+    """An ACE command line: ``name arg1=value1 arg2=value2 ... ;``"""
+
+    __slots__ = ("_name", "_args", "_text")
+
+    def __init__(self, name: str, args: Optional[Mapping[str, Any]] = None, /, **kwargs: Any):
+        if not _NAME_OK.match(name):
+            raise ACELanguageError(f"invalid command name {name!r}")
+        merged: Dict[str, Value] = {}
+        for source in (args or {}), kwargs:
+            for key, value in source.items():
+                if not _NAME_OK.match(key):
+                    raise ACELanguageError(f"invalid argument name {key!r}")
+                if key in merged:
+                    raise ACELanguageError(f"duplicate argument {key!r}")
+                merged[key] = normalize_value(value)
+        self._name = name
+        self._args = merged
+        self._text: Optional[str] = None
+
+    # -- accessors --------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def args(self) -> Dict[str, Value]:
+        return dict(self._args)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._args
+
+    def __iter__(self) -> Iterator[Tuple[str, Value]]:
+        return iter(self._args.items())
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._args.get(key, default)
+
+    def __getitem__(self, key: str) -> Value:
+        try:
+            return self._args[key]
+        except KeyError:
+            raise SemanticError(f"command {self._name!r} has no argument {key!r}")
+
+    def require(self, key: str) -> Value:
+        return self[key]
+
+    def int(self, key: str, default: Optional[int] = None) -> int:
+        return self._typed(key, int, default)
+
+    def float(self, key: str, default: Optional[float] = None) -> float:
+        value = self._args.get(key)
+        if value is None:
+            if default is None:
+                raise SemanticError(f"command {self._name!r} missing argument {key!r}")
+            return default
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SemanticError(f"argument {key!r} is not numeric: {value!r}")
+        return float(value)
+
+    def str(self, key: str, default: Optional[str] = None) -> str:
+        return self._typed(key, str, default)
+
+    def vector(self, key: str, default: Optional[tuple] = None) -> tuple:
+        return self._typed(key, tuple, default)
+
+    def _typed(self, key: str, typ: type, default: Any) -> Any:
+        value = self._args.get(key)
+        if value is None:
+            if default is None:
+                raise SemanticError(f"command {self._name!r} missing argument {key!r}")
+            return default
+        if not isinstance(value, typ) or isinstance(value, bool):
+            raise SemanticError(
+                f"argument {key!r} of {self._name!r} is {type(value).__name__}, "
+                f"expected {typ.__name__}"
+            )
+        return value
+
+    # -- derivation ---------------------------------------------------------
+    def with_args(self, **updates: Any) -> "ACECmdLine":
+        """A copy with arguments added/replaced."""
+        merged = dict(self._args)
+        for key, value in updates.items():
+            merged[key] = value
+        return ACECmdLine(self._name, merged)
+
+    # -- serialization --------------------------------------------------------
+    def to_string(self) -> str:
+        if self._text is None:
+            if self._args:
+                body = " ".join(f"{k}={format_value(v)}" for k, v in self._args.items())
+                self._text = f"{self._name} {body};"
+            else:
+                self._text = f"{self._name};"
+        return self._text
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+    @property
+    def wire_size(self) -> int:
+        return len(self.to_string().encode("utf-8"))
+
+    # -- equality ---------------------------------------------------------------
+    def _key(self) -> Tuple:
+        return (
+            self._name,
+            tuple(sorted((k, type(v).__name__, v) for k, v in self._args.items())),
+        )
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, ACECmdLine):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ACECmdLine({self.to_string()!r})"
+
+
+# Conventional reply commands every daemon understands (§2.2: "return
+# commands are used to reply on the status of the attempted command").
+
+def ok_reply(request: ACECmdLine, **results: Any) -> ACECmdLine:
+    return ACECmdLine("cmdOk", {"cmd": request.name, **results})
+
+
+def error_reply(request: ACECmdLine, reason: str, **extra: Any) -> ACECmdLine:
+    return ACECmdLine("cmdFailed", {"cmd": request.name, "reason": reason, **extra})
+
+
+def is_ok(reply: ACECmdLine) -> bool:
+    return reply.name == "cmdOk"
+
+
+def is_error(reply: ACECmdLine) -> bool:
+    return reply.name == "cmdFailed"

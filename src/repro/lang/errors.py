@@ -1,0 +1,18 @@
+"""Error taxonomy for the command language."""
+
+
+class ACELanguageError(Exception):
+    """Base class for all command-language failures."""
+
+
+class ParseError(ACELanguageError):
+    """Syntactic failure: the string is not a well-formed ACE command."""
+
+    def __init__(self, message: str, position: int = -1):
+        suffix = f" at position {position}" if position >= 0 else ""
+        super().__init__(message + suffix)
+        self.position = position
+
+
+class SemanticError(ACELanguageError):
+    """The command is well-formed but violates the daemon's semantics."""

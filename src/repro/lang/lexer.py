@@ -1,0 +1,78 @@
+"""Tokenizer for the ACE command language."""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.lang.errors import ParseError
+
+
+class TokenKind(enum.Enum):
+    """Token categories of the §2.2 grammar."""
+
+    WORD = "word"          # bare alnum/underscore run
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"      # quoted
+    EQUALS = "equals"
+    COMMA = "comma"
+    LBRACE = "lbrace"
+    RBRACE = "rbrace"
+    SEMICOLON = "semicolon"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.name}, {self.text!r}, @{self.position})"
+
+
+# Order matters: FLOAT must beat INTEGER; WORD must not eat a leading digit
+# of a number (numbers win because they're matched first and WORDs starting
+# with digits are still WORDs per the grammar — disambiguate by content).
+_PATTERNS = [
+    (TokenKind.FLOAT, re.compile(r"-?(?:\d+\.\d*|\.\d+)(?:[eE][-+]?\d+)?|-?\d+[eE][-+]?\d+")),
+    (TokenKind.INTEGER, re.compile(r"-?\d+")),
+    (TokenKind.WORD, re.compile(r"[A-Za-z0-9_]+")),
+    (TokenKind.STRING, re.compile(r'"(?:[^"\\]|\\.)*"')),
+    (TokenKind.EQUALS, re.compile(r"=")),
+    (TokenKind.COMMA, re.compile(r",")),
+    (TokenKind.LBRACE, re.compile(r"\{")),
+    (TokenKind.RBRACE, re.compile(r"\}")),
+    (TokenKind.SEMICOLON, re.compile(r";")),
+]
+
+_SPACE_RE = re.compile(r"[ \t]+")
+
+
+def _iter_tokens(text: str) -> Iterator[Token]:
+    pos = 0
+    length = len(text)
+    while pos < length:
+        space = _SPACE_RE.match(text, pos)
+        if space:
+            pos = space.end()
+            continue
+        best: Token | None = None
+        for kind, pattern in _PATTERNS:
+            match = pattern.match(text, pos)
+            if match and (best is None or match.end() > pos + len(best.text)):
+                best = Token(kind, match.group(), pos)
+        if best is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", pos)
+        pos += len(best.text)
+        yield best
+    yield Token(TokenKind.END, "", length)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize a command string; raises :class:`ParseError` on bad input."""
+    return list(_iter_tokens(text))

@@ -1,0 +1,182 @@
+"""Per-daemon command semantics (§2.3's "service's command semantics").
+
+A :class:`CommandSemantics` declares, for each command a daemon understands,
+the argument names, their ACE types, whether they're required, and defaults.
+The receiving daemon's parser validates inbound commands against this
+before dispatch; the sending side can validate before transmitting.
+Semantics compose through the service hierarchy (Fig. 6): a child service's
+semantics *extend* its parent's.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.lang.command import ACECmdLine
+from repro.lang.errors import SemanticError
+from repro.lang.values import Value, is_word
+
+
+class ArgType(enum.Enum):
+    """Declared ACE argument types (the grammar's value categories)."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    #: INTEGER or FLOAT accepted (common for coordinates).
+    NUMBER = "number"
+    WORD = "word"
+    STRING = "string"  # any string, including words
+    VECTOR = "vector"
+    ARRAY = "array"
+    #: anything goes (used by pass-through services like the logger)
+    ANY = "any"
+
+
+def infer_type(value: Value) -> ArgType:
+    """The most specific ArgType of a parsed value."""
+    if isinstance(value, bool):
+        raise SemanticError("booleans are not ACE values")
+    if isinstance(value, int):
+        return ArgType.INTEGER
+    if isinstance(value, float):
+        return ArgType.FLOAT
+    if isinstance(value, str):
+        return ArgType.WORD if is_word(value) else ArgType.STRING
+    if isinstance(value, tuple):
+        return ArgType.ARRAY if value and isinstance(value[0], tuple) else ArgType.VECTOR
+    raise SemanticError(f"unknown value type {type(value).__name__}")
+
+
+_COMPATIBLE = {
+    ArgType.INTEGER: {ArgType.INTEGER},
+    ArgType.FLOAT: {ArgType.FLOAT, ArgType.INTEGER},  # ints widen to float
+    ArgType.NUMBER: {ArgType.INTEGER, ArgType.FLOAT},
+    ArgType.WORD: {ArgType.WORD},
+    ArgType.STRING: {ArgType.WORD, ArgType.STRING},
+    ArgType.VECTOR: {ArgType.VECTOR},
+    ArgType.ARRAY: {ArgType.ARRAY},
+}
+
+
+@dataclass(frozen=True)
+class ArgSpec:
+    """One argument slot of a command."""
+
+    name: str
+    type: ArgType = ArgType.ANY
+    required: bool = True
+    default: Optional[Value] = None
+
+    def check(self, command_name: str, value: Value) -> None:
+        if self.type is ArgType.ANY:
+            return
+        actual = infer_type(value)
+        if actual not in _COMPATIBLE[self.type]:
+            raise SemanticError(
+                f"{command_name}: argument {self.name!r} expects {self.type.value}, "
+                f"got {actual.value} ({value!r})"
+            )
+
+
+@dataclass
+class CommandSpec:
+    """Declared shape of one command."""
+
+    name: str
+    args: Tuple[ArgSpec, ...] = ()
+    description: str = ""
+    #: commands the daemon emits as notifications rather than accepts
+    notification: bool = False
+
+    def arg(self, name: str) -> Optional[ArgSpec]:
+        for spec in self.args:
+            if spec.name == name:
+                return spec
+        return None
+
+
+class CommandSemantics:
+    """The full command vocabulary of a daemon (extensible by inheritance)."""
+
+    def __init__(self, parent: Optional["CommandSemantics"] = None, strict: bool = True):
+        self.parent = parent
+        self.strict = strict
+        self._commands: Dict[str, CommandSpec] = {}
+
+    # -- definition -----------------------------------------------------------
+    def define(
+        self,
+        name: str,
+        *args: ArgSpec,
+        description: str = "",
+        notification: bool = False,
+    ) -> CommandSpec:
+        if name in self._commands:
+            raise SemanticError(f"command {name!r} already defined")
+        spec = CommandSpec(name, tuple(args), description, notification)
+        self._commands[name] = spec
+        return spec
+
+    def extend(self) -> "CommandSemantics":
+        """Child semantics inheriting everything defined here (Fig. 6)."""
+        return CommandSemantics(parent=self, strict=self.strict)
+
+    # -- lookup ------------------------------------------------------------------
+    def lookup(self, name: str) -> Optional[CommandSpec]:
+        spec = self._commands.get(name)
+        if spec is None and self.parent is not None:
+            return self.parent.lookup(name)
+        return spec
+
+    def commands(self) -> List[str]:
+        names = set(self._commands)
+        if self.parent is not None:
+            names.update(self.parent.commands())
+        return sorted(names)
+
+    def __contains__(self, name: str) -> bool:
+        return self.lookup(name) is not None
+
+    # -- validation ------------------------------------------------------------
+    def validate(self, command: ACECmdLine) -> ACECmdLine:
+        """Check ``command`` and fill in defaults; returns the (possibly
+        augmented) command.  Raises :class:`SemanticError` on violations."""
+        spec = self.lookup(command.name)
+        if spec is None:
+            if self.strict:
+                raise SemanticError(f"unknown command {command.name!r}")
+            return command
+        seen = dict(command.args)
+        fills: Dict[str, Any] = {}
+        for arg_spec in spec.args:
+            if arg_spec.name in seen:
+                arg_spec.check(command.name, seen.pop(arg_spec.name))
+            elif arg_spec.required:
+                raise SemanticError(
+                    f"{command.name}: missing required argument {arg_spec.name!r}"
+                )
+            elif arg_spec.default is not None:
+                fills[arg_spec.name] = arg_spec.default
+        if seen and self.strict:
+            unknown = ", ".join(sorted(seen))
+            raise SemanticError(f"{command.name}: unknown argument(s) {unknown}")
+        return command.with_args(**fills) if fills else command
+
+
+def reply_semantics() -> CommandSemantics:
+    """The universal reply vocabulary every daemon shares."""
+    sem = CommandSemantics(strict=False)
+    sem.define(
+        "cmdOk",
+        ArgSpec("cmd", ArgType.WORD),
+        description="successful completion of the named command",
+    )
+    sem.define(
+        "cmdFailed",
+        ArgSpec("cmd", ArgType.WORD),
+        ArgSpec("reason", ArgType.STRING),
+        description="failure report for the named command",
+    )
+    return sem

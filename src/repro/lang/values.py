@@ -1,0 +1,130 @@
+"""Value model and serialization for ACE argument values.
+
+Python-native representation:
+
+=========  =======================================
+ACE type   Python type
+=========  =======================================
+INTEGER    ``int`` (not bool)
+FLOAT      ``float``
+WORD       ``str`` matching ``[A-Za-z0-9_]+``
+STRING     any other ``str`` (serialized quoted)
+VECTOR     ``tuple`` of homogeneous scalars
+ARRAY      ``tuple`` of VECTORs (same element type)
+=========  =======================================
+
+Tuples (not lists) are used so values are hashable and commands can be
+compared/deduplicated; the parser produces tuples, and ``format_value``
+accepts lists for convenience but normalizes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Sequence, Tuple, Union
+
+from repro.lang.errors import ACELanguageError
+
+_WORD_RE = re.compile(r"^[A-Za-z0-9_]+$")
+# Word-shaped strings the lexer would read back as numbers ("42", "1e5"):
+# these must be quoted to survive the round trip as strings.
+_NUMERIC_AMBIGUOUS_RE = re.compile(r"^\d+(?:[eE]\d+)?$")
+
+Scalar = Union[int, float, str]
+Value = Union[Scalar, Tuple]
+
+
+def is_word(text: str) -> bool:
+    """True when ``text`` can be serialized bare (no quotes) and still
+    parse back as a WORD rather than a number."""
+    return bool(_WORD_RE.match(text)) and not _NUMERIC_AMBIGUOUS_RE.match(text)
+
+
+def _format_scalar(value: Scalar) -> str:
+    if isinstance(value, bool):
+        raise ACELanguageError("booleans are not an ACE type; use words on/off")
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ACELanguageError(f"non-finite floats are not serializable: {value!r}")
+        # repr round-trips floats exactly; ensure a '.'/exponent so the
+        # parser sees a FLOAT, not an INTEGER.
+        text = repr(value)
+        if "." not in text and "e" not in text:
+            text += ".0"
+        return text
+    if isinstance(value, str):
+        if is_word(value):
+            return value
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        if not _printable(value):
+            raise ACELanguageError(f"string contains non-printable characters: {value!r}")
+        return f'"{escaped}"'
+    raise ACELanguageError(f"unsupported ACE value type {type(value).__name__}")
+
+
+def _printable(text: str) -> bool:
+    # Only control characters are banned; anything else survives quoting.
+    return all(ch not in "\n\r\t" and (ord(ch) >= 32 and ord(ch) != 127) for ch in text)
+
+
+def scalar_kind(value: Scalar) -> str:
+    if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+        raise ACELanguageError(f"not an ACE scalar: {value!r}")
+    if isinstance(value, int):
+        return "integer"
+    if isinstance(value, float):
+        return "float"
+    return "word" if is_word(value) else "string"
+
+
+def normalize_value(value: Any) -> Value:
+    """Coerce lists to tuples and validate homogeneity of vectors/arrays."""
+    if isinstance(value, (list, tuple)):
+        items = tuple(normalize_value(v) for v in value)
+        if not items:
+            raise ACELanguageError("empty vectors/arrays cannot be serialized")
+        if all(isinstance(v, tuple) for v in items):
+            kinds = {_vector_kind(v) for v in items}
+            if len(kinds) > 1:
+                raise ACELanguageError(f"array mixes vector element types: {sorted(kinds)}")
+            return items
+        if any(isinstance(v, tuple) for v in items):
+            raise ACELanguageError("array mixes vectors and scalars")
+        kinds = {_element_bucket(v) for v in items}
+        if len(kinds) > 1:
+            raise ACELanguageError(f"vector mixes element types: {sorted(kinds)}")
+        return items
+    if isinstance(value, bool):
+        raise ACELanguageError("booleans are not an ACE type; use words on/off")
+    if isinstance(value, (int, float, str)):
+        return value
+    raise ACELanguageError(f"unsupported ACE value type {type(value).__name__}")
+
+
+def _element_bucket(value: Scalar) -> str:
+    """Vectors are homogeneous by ACE type; words and strings share STRING's
+    bucket (the paper's grammar allows {WORD,...} | {STRING,...} and every
+    word is a string)."""
+    kind = scalar_kind(value)
+    return "string" if kind in ("word", "string") else kind
+
+
+def _vector_kind(vector: Tuple) -> str:
+    if not vector or any(isinstance(v, tuple) for v in vector):
+        raise ACELanguageError("array elements must be non-empty scalar vectors")
+    kinds = {_element_bucket(v) for v in vector}
+    if len(kinds) > 1:
+        raise ACELanguageError(f"vector mixes element types: {sorted(kinds)}")
+    return kinds.pop()
+
+
+def format_value(value: Any) -> str:
+    """Serialize a (normalized or raw) value to its wire form."""
+    value = normalize_value(value)
+    if isinstance(value, tuple):
+        if isinstance(value[0], tuple):  # ARRAY
+            return "{" + ",".join(format_value(v) for v in value) + "}"
+        return "{" + ",".join(_format_scalar(v) for v in value) + "}"
+    return _format_scalar(value)

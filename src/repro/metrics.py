@@ -1,0 +1,102 @@
+"""Measurement helpers shared by benchmarks and experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Standard latency/throughput digest."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    def row(self, scale: float = 1e3, unit: str = "ms") -> str:
+        return (
+            f"n={self.count:<6d} mean={self.mean * scale:9.3f}{unit} "
+            f"p50={self.p50 * scale:9.3f}{unit} p95={self.p95 * scale:9.3f}{unit} "
+            f"p99={self.p99 * scale:9.3f}{unit} max={self.maximum * scale:9.3f}{unit}"
+        )
+
+
+def summarize(samples: Iterable[float]) -> Summary:
+    data = np.asarray(list(samples), dtype=float)
+    if data.size == 0:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return Summary(
+        count=int(data.size),
+        mean=float(data.mean()),
+        p50=float(np.percentile(data, 50)),
+        p95=float(np.percentile(data, 95)),
+        p99=float(np.percentile(data, 99)),
+        minimum=float(data.min()),
+        maximum=float(data.max()),
+    )
+
+
+class LatencyRecorder:
+    """Collects (start, stop) spans inside a simulation run."""
+
+    def __init__(self) -> None:
+        self.samples: List[float] = []
+
+    def record(self, elapsed: float) -> None:
+        self.samples.append(float(elapsed))
+
+    def summary(self) -> Summary:
+        return summarize(self.samples)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+class ResultTable:
+    """Plain fixed-width table printer for benchmark harnesses.
+
+    Every experiment prints one of these; EXPERIMENTS.md quotes the rows.
+    """
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(f"expected {len(self.columns)} values, got {len(values)}")
+        self.rows.append([_fmt(v) for v in values])
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows)) if self.rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print("\n" + self.render() + "\n")
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)

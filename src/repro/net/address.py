@@ -1,0 +1,48 @@
+"""Network addresses and the handful of well-known ACE ports.
+
+The paper (§2.4, §2.6) relies on the ASD living at a *fixed socket location
+known to all ACE daemons*; ``WellKnownPorts`` pins those conventions down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Address:
+    """A ``host:port`` endpoint on the simulated network."""
+
+    host: str
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Address":
+        """Parse ``"host:port"``; raises ``ValueError`` on malformed input."""
+        host, sep, port = text.rpartition(":")
+        if not sep or not host:
+            raise ValueError(f"malformed address {text!r}")
+        return cls(host, int(port))
+
+
+class WellKnownPorts:
+    """Fixed port assignments every ACE daemon knows at compile time.
+
+    Only the ASD *must* be well known (the paper's bootstrap assumption);
+    the rest are conventions used by the environment builder so traces are
+    easy to read.
+    """
+
+    ASD = 5000
+    ROOM_DB = 5001
+    NET_LOGGER = 5002
+    AUTH_DB = 5003
+    USER_DB = 5004
+    PERSISTENT_STORE = 5010  # replicas use 5010, 5011, 5012
+    #: First port handed out to dynamically placed daemons.
+    EPHEMERAL_BASE = 10000
+    #: Multicast "address" used by the Jini-style discovery baseline.
+    JINI_MULTICAST = Address("224.0.1.85", 4160)

@@ -1,0 +1,361 @@
+"""The network fabric: delivery, faults, and traffic accounting.
+
+Topology model
+--------------
+Hosts belong to *segments* (think: one switch per room/wing).  Latency for a
+message is::
+
+    same host          -> local_latency
+    same segment       -> lan_latency   (+ jitter)
+    different segment  -> lan_latency + backbone_latency (+ jitter)
+
+plus a serialization term ``bytes / bandwidth_Bps`` charged at the sender.
+Backbone bytes are counted separately so the distribution-vs-centralization
+experiment (E16) can report them, exactly the traffic-locality argument the
+paper makes against centralized clusters (§8.1).
+
+Fault model
+-----------
+* ``Host.crash()`` — endpoints on the host are closed; in-flight traffic to
+  it is dropped at arrival time; peers discover EOF (streams) or silence.
+* ``set_partition(groups)`` — traffic between groups is dropped; connects
+  across the cut raise ``ConnectionRefused`` after the connect timeout.
+* ``loss_rate`` — i.i.d. datagram loss from the ``net.loss`` RNG stream
+  (streams are reliable, as TCP would retransmit under the covers).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Iterable, List, Optional, Set
+
+from repro.sim import RngRegistry, Simulator, TraceRecorder
+
+from repro.net.address import Address
+from repro.net.host import Host, HostDownError
+from repro.net.sockets import (
+    Connection,
+    ConnectionClosed,
+    ConnectionRefused,
+    DatagramSocket,
+    ListenerSocket,
+    wire_size,
+)
+
+
+class NetworkError(Exception):
+    """Configuration/usage errors: duplicate binds, unknown hosts, ..."""
+
+
+class TrafficStats:
+    """Byte and message counters split by traffic scope."""
+
+    def __init__(self) -> None:
+        self.messages = 0
+        self.bytes_local = 0
+        self.bytes_lan = 0
+        self.bytes_backbone = 0
+        self.dropped = 0
+
+    @property
+    def bytes_total(self) -> int:
+        return self.bytes_local + self.bytes_lan + self.bytes_backbone
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "messages": self.messages,
+            "bytes_local": self.bytes_local,
+            "bytes_lan": self.bytes_lan,
+            "bytes_backbone": self.bytes_backbone,
+            "bytes_total": self.bytes_total,
+            "dropped": self.dropped,
+        }
+
+
+class Network:
+    """Owns hosts, bindings, and every message in flight."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: Optional[RngRegistry] = None,
+        trace: Optional[TraceRecorder] = None,
+        *,
+        local_latency: float = 20e-6,
+        lan_latency: float = 250e-6,
+        backbone_latency: float = 2e-3,
+        bandwidth_Bps: float = 12.5e6,  # 100 Mbit/s
+        jitter_frac: float = 0.0,
+        loss_rate: float = 0.0,
+        connect_timeout: float = 1.0,
+    ):
+        self.sim = sim
+        self.rng = rng or RngRegistry(0)
+        self.trace = trace or TraceRecorder(enabled=False)
+        self.local_latency = local_latency
+        self.lan_latency = lan_latency
+        self.backbone_latency = backbone_latency
+        self.bandwidth_Bps = bandwidth_Bps
+        self.jitter_frac = jitter_frac
+        self.loss_rate = loss_rate
+        self.connect_timeout = connect_timeout
+        self.stats = TrafficStats()
+        self.hosts: Dict[str, Host] = {}
+        self._listeners: Dict[Address, ListenerSocket] = {}
+        self._datagram: Dict[Address, DatagramSocket] = {}
+        self._multicast: Dict[Address, Set[DatagramSocket]] = {}
+        self._partition: Optional[Dict[str, int]] = None
+        self._next_port: Dict[str, int] = {}
+        self._jitter_rng = self.rng.py("net.jitter")
+        self._loss_rng = self.rng.py("net.loss")
+
+    # ------------------------------------------------------------------
+    # Host management
+    # ------------------------------------------------------------------
+    def add_host(self, host: Host) -> Host:
+        if host.name in self.hosts:
+            raise NetworkError(f"duplicate host {host.name!r}")
+        self.hosts[host.name] = host
+        return host
+
+    def make_host(self, name: str, **kwargs: Any) -> Host:
+        return self.add_host(Host(self.sim, name, **kwargs))
+
+    def host(self, name: str) -> Host:
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise NetworkError(f"unknown host {name!r}")
+
+    def crash_host(self, name: str) -> None:
+        """Crash a host and close all of its endpoints."""
+        host = self.host(name)
+        host.crash()
+        for addr, listener in list(self._listeners.items()):
+            if addr.host == name:
+                listener.close()
+        for addr, sock in list(self._datagram.items()):
+            if addr.host == name:
+                sock.close()
+        self.trace.emit(self.sim.now, "network", "host-crash", host=name)
+
+    def restart_host(self, name: str) -> None:
+        self.host(name).restart()
+        self.trace.emit(self.sim.now, "network", "host-restart", host=name)
+
+    def ephemeral_port(self, host_name: str) -> int:
+        from repro.net.address import WellKnownPorts
+
+        port = self._next_port.get(host_name, WellKnownPorts.EPHEMERAL_BASE)
+        self._next_port[host_name] = port + 1
+        return port
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def set_partition(self, groups: Iterable[Iterable[str]]) -> None:
+        """Partition the network into the given host groups.
+
+        Hosts not named in any group go into an implicit extra group.
+        """
+        mapping: Dict[str, int] = {}
+        for idx, group in enumerate(groups):
+            for host_name in group:
+                self.host(host_name)  # validate
+                mapping[host_name] = idx
+        next_group = len(set(mapping.values()))
+        for name in self.hosts:
+            mapping.setdefault(name, next_group)
+        self._partition = mapping
+        self.trace.emit(self.sim.now, "network", "partition", groups=dict(mapping))
+
+    def clear_partition(self) -> None:
+        self._partition = None
+        self.trace.emit(self.sim.now, "network", "partition-heal")
+
+    def _reachable(self, src: Host, dst: Host) -> bool:
+        if not dst.up:
+            return False
+        if self._partition is None or src.name == dst.name:
+            return True
+        return self._partition[src.name] == self._partition[dst.name]
+
+    # ------------------------------------------------------------------
+    # Latency / accounting
+    # ------------------------------------------------------------------
+    def _path_latency(self, src: Host, dst: Host) -> float:
+        if src.name == dst.name:
+            base = self.local_latency
+        elif src.segment == dst.segment:
+            base = self.lan_latency
+        else:
+            base = self.lan_latency + self.backbone_latency
+        if self.jitter_frac > 0:
+            base *= 1.0 + self.jitter_frac * self._jitter_rng.random()
+        return base
+
+    def _account(self, src: Host, dst: Host, nbytes: int) -> None:
+        self.stats.messages += 1
+        if src.name == dst.name:
+            self.stats.bytes_local += nbytes
+        elif src.segment == dst.segment:
+            self.stats.bytes_lan += nbytes
+        else:
+            self.stats.bytes_backbone += nbytes
+
+    def _transmit_delay(self, nbytes: int) -> float:
+        return nbytes / self.bandwidth_Bps
+
+    # ------------------------------------------------------------------
+    # Stream sockets
+    # ------------------------------------------------------------------
+    def listen(self, host: Host, port: int) -> ListenerSocket:
+        host.check_up()
+        addr = Address(host.name, port)
+        if addr in self._listeners and not self._listeners[addr].closed:
+            raise NetworkError(f"address {addr} already bound")
+        sock = ListenerSocket(self, host, addr)
+        self._listeners[addr] = sock
+        return sock
+
+    def _unbind_listener(self, sock: ListenerSocket) -> None:
+        if self._listeners.get(sock.address) is sock:
+            del self._listeners[sock.address]
+
+    def connect(self, src: Host, dest: Address, timeout: Optional[float] = None) -> Generator:
+        """Three-message handshake; returns the client-side Connection.
+
+        Raises :class:`ConnectionRefused` if nothing listens at ``dest``, the
+        destination is down/partitioned away, or the timeout elapses.
+        """
+        src.check_up()
+        timeout = self.connect_timeout if timeout is None else timeout
+        dst_host = self.hosts.get(dest.host)
+        # SYN leg.
+        yield self.sim.timeout(self._path_latency(src, dst_host) if dst_host else timeout)
+        if dst_host is None or not self._reachable(src, dst_host) or not src.up:
+            yield self.sim.timeout(timeout)
+            raise ConnectionRefused(f"no route to {dest}")
+        listener = self._listeners.get(dest)
+        if listener is None or listener.closed:
+            raise ConnectionRefused(f"nothing listening at {dest}")
+        local = Address(src.name, self.ephemeral_port(src.name))
+        client = Connection(self, src, local, dest)
+        server = Connection(self, dst_host, dest, local)
+        client.peer = server
+        server.peer = client
+        if not listener._offer(server):
+            raise ConnectionRefused(f"listener at {dest} closed during handshake")
+        # SYN-ACK leg back to the client.
+        yield self.sim.timeout(self._path_latency(dst_host, src))
+        if not src.up:
+            raise HostDownError(src.name)
+        self.trace.emit(self.sim.now, "network", "connect", src=str(local), dst=str(dest))
+        return client
+
+    def _stream_transmit(self, conn: Connection, payload: Any) -> Generator:
+        nbytes = wire_size(payload)
+        yield self.sim.timeout(self._transmit_delay(nbytes))
+        peer = conn.peer
+        assert peer is not None
+        dst_host = peer.host
+        if not self._reachable(conn.host, dst_host):
+            self.stats.dropped += 1
+            return
+        self._account(conn.host, dst_host, nbytes)
+        arrival = self.sim.now + self._path_latency(conn.host, dst_host)
+        # Enforce per-connection FIFO despite jitter.
+        arrival = max(arrival, peer._last_arrival)
+        peer._last_arrival = arrival
+        delivery = self.sim.timeout(arrival - self.sim.now)
+        delivery.callbacks.append(lambda _ev, p=peer, m=payload: self._arrive_stream(p, m))
+
+    def _arrive_stream(self, peer: Connection, payload: Any) -> None:
+        if not peer.host.up or peer.closed:
+            self.stats.dropped += 1
+            return
+        peer._enqueue(payload)
+
+    def _stream_close_notify(self, conn: Connection) -> None:
+        peer = conn.peer
+        if peer is None or peer.closed:
+            return
+        if not self._reachable(conn.host, peer.host):
+            return  # peer never learns; it will discover on its own
+        lat = self._path_latency(conn.host, peer.host)
+        delivery = self.sim.timeout(lat)
+        delivery.callbacks.append(lambda _ev, p=peer: p._enqueue_close())
+
+    # ------------------------------------------------------------------
+    # Datagram sockets
+    # ------------------------------------------------------------------
+    def bind_datagram(self, host: Host, port: Optional[int] = None) -> DatagramSocket:
+        host.check_up()
+        if port is None:
+            port = self.ephemeral_port(host.name)
+        addr = Address(host.name, port)
+        if addr in self._datagram and not self._datagram[addr].closed:
+            raise NetworkError(f"datagram address {addr} already bound")
+        sock = DatagramSocket(self, host, addr)
+        self._datagram[addr] = sock
+        return sock
+
+    def _unbind_datagram(self, sock: DatagramSocket) -> None:
+        if self._datagram.get(sock.address) is sock:
+            del self._datagram[sock.address]
+        for members in self._multicast.values():
+            members.discard(sock)
+
+    def _datagram_transmit(self, sock: DatagramSocket, dest: Address, payload: Any) -> Generator:
+        nbytes = wire_size(payload)
+        yield self.sim.timeout(self._transmit_delay(nbytes))
+        self._datagram_route(sock, dest, payload, nbytes)
+
+    def _datagram_route(self, sock: DatagramSocket, dest: Address, payload: Any, nbytes: int) -> None:
+        dst_host = self.hosts.get(dest.host)
+        if dst_host is None or not self._reachable(sock.host, dst_host):
+            self.stats.dropped += 1
+            return
+        if self.loss_rate > 0 and self._loss_rng.random() < self.loss_rate:
+            self.stats.dropped += 1
+            return
+        self._account(sock.host, dst_host, nbytes)
+        delivery = self.sim.timeout(self._path_latency(sock.host, dst_host))
+        source = sock.address
+
+        def arrive(_ev: Any) -> None:
+            target = self._datagram.get(dest)
+            if target is None or target.closed or not target.host.up:
+                self.stats.dropped += 1
+                return
+            target._enqueue(source, payload)
+
+        delivery.callbacks.append(arrive)
+
+    # ------------------------------------------------------------------
+    # Multicast (for the Jini-style discovery baseline)
+    # ------------------------------------------------------------------
+    def _multicast_join(self, group: Address, sock: DatagramSocket) -> None:
+        self._multicast.setdefault(group, set()).add(sock)
+
+    def _multicast_leave(self, group: Address, sock: DatagramSocket) -> None:
+        self._multicast.get(group, set()).discard(sock)
+
+    def _multicast_transmit(self, sock: DatagramSocket, group: Address, payload: Any) -> Generator:
+        nbytes = wire_size(payload)
+        yield self.sim.timeout(self._transmit_delay(nbytes))
+        members = sorted(self._multicast.get(group, ()), key=lambda s: str(s.address))
+        source = sock.address
+        for member in members:
+            if member is sock:
+                continue
+            if not self._reachable(sock.host, member.host):
+                self.stats.dropped += 1
+                continue
+            if self.loss_rate > 0 and self._loss_rng.random() < self.loss_rate:
+                self.stats.dropped += 1
+                continue
+            self._account(sock.host, member.host, nbytes)
+            delivery = self.sim.timeout(self._path_latency(sock.host, member.host))
+            delivery.callbacks.append(
+                lambda _ev, m=member, p=payload: m._enqueue(source, p) if (not m.closed and m.host.up) else None
+            )

@@ -1,0 +1,54 @@
+"""Security substrate: toy crypto, certificates, and KeyNote trust management.
+
+Two layers, matching Chapter 3 of the paper:
+
+* **Transport security** (§3.1): :mod:`repro.security.crypto` provides the
+  Diffie–Hellman / Schnorr / keystream primitives that
+  :class:`repro.net.secure.SecureChannel` uses to emulate SSL.  These are
+  *educational* implementations — real code paths, real handshakes, real
+  key material — but NOT cryptographically strong; they exist so the
+  security-overhead experiment (E5) measures genuine work.
+
+* **Authorization** (§3.2): :mod:`repro.security.keynote` implements the
+  KeyNote trust-management system (RFC 2704 subset): assertions with
+  authorizer/licensees/conditions, signed credentials, and a compliance
+  checker that walks delegation chains.
+"""
+
+from repro.security.crypto import (
+    Certificate,
+    CertificateAuthority,
+    CertificateError,
+    KeyPair,
+    KeystreamCipher,
+    dh_keypair,
+    dh_shared_secret,
+    hmac_sha256,
+    sha256_hex,
+)
+from repro.security.keynote import (
+    ActionAttributes,
+    Assertion,
+    ComplianceChecker,
+    ComplianceValue,
+    KeyNoteError,
+    parse_assertion,
+)
+
+__all__ = [
+    "ActionAttributes",
+    "Assertion",
+    "Certificate",
+    "CertificateAuthority",
+    "CertificateError",
+    "ComplianceChecker",
+    "ComplianceValue",
+    "KeyNoteError",
+    "KeyPair",
+    "KeystreamCipher",
+    "dh_keypair",
+    "dh_shared_secret",
+    "hmac_sha256",
+    "parse_assertion",
+    "sha256_hex",
+]

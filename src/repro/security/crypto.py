@@ -1,0 +1,213 @@
+"""Toy-but-functional cryptographic primitives.
+
+Everything here is deterministic given an RNG stream and runs offline:
+
+* Diffie–Hellman key agreement over the RFC 2409 1024-bit MODP group.
+* Schnorr signatures in the prime-order subgroup of the same group
+  (deterministic nonces, so simulations replay identically).
+* A SHA-256-CTR keystream cipher plus HMAC-SHA256 record integrity.
+* X.509-flavoured certificates with a single-level CA.
+
+**Not for production use** — the point is to exercise genuine handshake /
+sign / verify / encrypt code paths and cost structure, per DESIGN.md's
+substitution table.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+# RFC 2409 "Second Oakley Group" 1024-bit safe prime; generator 2.
+MODP_P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381FFFFFFFFFFFFFFFF",
+    16,
+)
+MODP_Q = (MODP_P - 1) // 2  # prime order of the quadratic-residue subgroup
+MODP_G = 4  # = 2^2, generates the order-q subgroup
+
+
+def sha256_hex(*parts: bytes | str) -> str:
+    """Hex digest over the concatenation of parts (strings are UTF-8)."""
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part.encode("utf-8") if isinstance(part, str) else part)
+    return h.hexdigest()
+
+
+def sha256_int(*parts: bytes | str) -> int:
+    return int(sha256_hex(*parts), 16)
+
+
+def hmac_sha256(key: bytes, message: bytes) -> bytes:
+    return _hmac.new(key, message, hashlib.sha256).digest()
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    return _hmac.compare_digest(a, b)
+
+
+# ---------------------------------------------------------------------------
+# Diffie–Hellman
+# ---------------------------------------------------------------------------
+
+def dh_keypair(rng: random.Random) -> Tuple[int, int]:
+    """Return ``(private, public)`` with ``public = g^private mod p``."""
+    priv = rng.randrange(2, MODP_Q - 1)
+    return priv, pow(MODP_G, priv, MODP_P)
+
+
+def dh_shared_secret(private: int, peer_public: int) -> bytes:
+    """The shared secret as 128 bytes, for key derivation."""
+    if not 1 < peer_public < MODP_P - 1:
+        raise ValueError("peer public value out of range")
+    secret = pow(peer_public, private, MODP_P)
+    return secret.to_bytes(128, "big")
+
+
+def derive_keys(shared: bytes, transcript: str) -> Tuple[bytes, bytes]:
+    """Derive (cipher_key, mac_key) from the shared secret + transcript."""
+    base = hmac_sha256(shared, transcript.encode("utf-8"))
+    return hmac_sha256(base, b"cipher"), hmac_sha256(base, b"mac")
+
+
+# ---------------------------------------------------------------------------
+# Schnorr signatures
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A Schnorr signing keypair. ``public`` doubles as a principal id."""
+
+    private: int
+    public: int
+
+    @classmethod
+    def generate(cls, rng: random.Random) -> "KeyPair":
+        priv = rng.randrange(2, MODP_Q - 1)
+        return cls(priv, pow(MODP_G, priv, MODP_P))
+
+    def principal(self) -> str:
+        """Short stable identifier derived from the public key (KeyNote
+        principals are keys; we use the hash for readability)."""
+        return "key:" + sha256_hex(str(self.public))[:16]
+
+    def sign(self, message: str) -> Tuple[int, int]:
+        """Deterministic Schnorr signature ``(e, s)`` over ``message``."""
+        k = sha256_int(str(self.private), message, "nonce") % MODP_Q
+        if k < 2:
+            k += 2
+        r = pow(MODP_G, k, MODP_P)
+        e = sha256_int(str(r), message) % MODP_Q
+        s = (k + self.private * e) % MODP_Q
+        return e, s
+
+
+def verify_signature(public: int, message: str, signature: Tuple[int, int]) -> bool:
+    """Check ``g^s == r * y^e`` with ``r`` recovered from the signature."""
+    try:
+        e, s = signature
+    except (TypeError, ValueError):
+        return False
+    if not (0 <= e < MODP_Q and 0 <= s < MODP_Q):
+        return False
+    # g^s = g^k * g^(x e) = r * y^e  =>  r = g^s * y^(-e)
+    r = (pow(MODP_G, s, MODP_P) * pow(public, MODP_Q - e, MODP_P)) % MODP_P
+    return sha256_int(str(r), message) % MODP_Q == e
+
+
+# ---------------------------------------------------------------------------
+# Keystream cipher
+# ---------------------------------------------------------------------------
+
+class KeystreamCipher:
+    """SHA-256 in counter mode XORed over the plaintext.
+
+    Symmetric: ``decrypt(nonce, encrypt(nonce, m)) == m``.  Each record gets
+    its own nonce so the keystream never repeats.
+    """
+
+    def __init__(self, key: bytes):
+        if len(key) < 16:
+            raise ValueError("cipher key too short")
+        self.key = key
+
+    def _keystream(self, nonce: bytes, length: int) -> bytes:
+        out = bytearray()
+        counter = 0
+        while len(out) < length:
+            block = hashlib.sha256(self.key + nonce + counter.to_bytes(8, "big")).digest()
+            out.extend(block)
+            counter += 1
+        return bytes(out[:length])
+
+    def encrypt(self, nonce: bytes, plaintext: bytes) -> bytes:
+        ks = self._keystream(nonce, len(plaintext))
+        return bytes(a ^ b for a, b in zip(plaintext, ks))
+
+    decrypt = encrypt  # XOR is its own inverse
+
+
+# ---------------------------------------------------------------------------
+# Certificates
+# ---------------------------------------------------------------------------
+
+class CertificateError(Exception):
+    """Bad signature, unknown issuer, or malformed certificate."""
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """Binds ``subject`` (a service/user name) to a Schnorr public key."""
+
+    subject: str
+    public_key: int
+    issuer: str
+    signature: Tuple[int, int]
+
+    def signed_payload(self) -> str:
+        return f"cert|{self.subject}|{self.public_key}|{self.issuer}"
+
+    def wire_size(self) -> int:
+        return len(self.signed_payload()) + 64  # signature overhead
+
+
+class CertificateAuthority:
+    """The single trust root of an ACE installation."""
+
+    def __init__(self, rng: random.Random, name: str = "ace-ca"):
+        self.name = name
+        self.keypair = KeyPair.generate(rng)
+        self._rng = rng
+
+    @property
+    def public_key(self) -> int:
+        return self.keypair.public
+
+    def issue(self, subject: str, public_key: int) -> Certificate:
+        payload = f"cert|{subject}|{public_key}|{self.name}"
+        return Certificate(subject, public_key, self.name, self.keypair.sign(payload))
+
+    def issue_keypair(self, subject: str) -> Tuple[KeyPair, Certificate]:
+        kp = KeyPair.generate(self._rng)
+        return kp, self.issue(subject, kp.public)
+
+    def verify(self, cert: Certificate) -> None:
+        """Raise :class:`CertificateError` unless ``cert`` is ours and valid."""
+        if cert.issuer != self.name:
+            raise CertificateError(f"unknown issuer {cert.issuer!r}")
+        if not verify_signature(self.public_key, cert.signed_payload(), cert.signature):
+            raise CertificateError(f"bad signature on certificate for {cert.subject!r}")
+
+
+def verify_certificate(cert: Certificate, ca_public_key: int, ca_name: str) -> bool:
+    """Stand-alone chain check used by peers that only hold the CA key."""
+    if cert.issuer != ca_name:
+        return False
+    return verify_signature(ca_public_key, cert.signed_payload(), cert.signature)

@@ -1,0 +1,203 @@
+"""ASD — the ACE Service Directory (§2.4, Fig. 7).
+
+The central listing of active services.  Services ``register`` at startup
+(Fig. 9 step 3), ``renewLease`` periodically, ``deregister`` at shutdown;
+clients ``lookup`` by name, class path, or room.  Leases purge crashed
+services: a registration that stops renewing disappears after
+``ctx.lease_duration`` seconds, so "other services don't waste time and
+resources attempting to connect to a defunct ACE service".
+
+Because registration is an ordinary ACE command, other daemons can watch
+it with ``addNotification cmd=register ...`` and learn about new services
+the moment they come up (Fig. 9 step 4) — no ASD-specific mechanism needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional
+
+from repro.lang import ACECmdLine, ArgSpec, ArgType, CommandSemantics
+from repro.net import Address
+from repro.core.client import CallError, ServiceClient
+from repro.core.daemon import ACEDaemon, Request, ServiceError
+from repro.core.leases import LeaseTable
+
+
+@dataclass(frozen=True)
+class ServiceRecord:
+    """One directory entry."""
+
+    name: str
+    host: str
+    port: int
+    room: str
+    cls: str
+
+    @property
+    def address(self) -> Address:
+        return Address(self.host, self.port)
+
+    def to_wire(self) -> str:
+        return f"{self.name}|{self.host}|{self.port}|{self.room}|{self.cls}"
+
+    @classmethod
+    def from_wire(cls, text: str) -> "ServiceRecord":
+        name, host, port, room, klass = text.split("|")
+        return cls(name, host, int(port), room, klass)
+
+    def matches_class(self, cls_query: str) -> bool:
+        """True when ``cls_query`` is a segment (or suffix path) of this
+        record's class path, so ``PTZCamera`` matches ``.../PTZCamera/VCC3``."""
+        segments = self.cls.split("/")
+        query = cls_query.split("/")
+        for start in range(len(segments) - len(query) + 1):
+            if segments[start : start + len(query)] == query:
+                return True
+        return False
+
+
+class ServiceDirectoryDaemon(ACEDaemon):
+    """The directory itself (a 'robust application' per §5.3)."""
+
+    service_type = "ServiceDirectory"
+
+    def __init__(self, ctx, name, host, **kwargs):
+        kwargs.setdefault("authorize_commands", False)  # bootstrap service
+        kwargs.setdefault("register_with_asd", False)   # it IS the ASD
+        super().__init__(ctx, name, host, **kwargs)
+        self.records: Dict[str, ServiceRecord] = {}
+        self.leases = LeaseTable(ctx.lease_duration, on_expire=self._lease_expired)
+
+    def build_semantics(self, sem: CommandSemantics) -> None:
+        sem.define(
+            "register",
+            ArgSpec("name", ArgType.STRING),
+            ArgSpec("host", ArgType.STRING),
+            ArgSpec("port", ArgType.INTEGER),
+            ArgSpec("room", ArgType.STRING, required=False, default="unassigned"),
+            ArgSpec("cls", ArgType.STRING, required=False, default="ACEService"),
+            description="enter the directory and receive a lease",
+        )
+        sem.define("deregister", ArgSpec("name", ArgType.STRING))
+        sem.define("renewLease", ArgSpec("name", ArgType.STRING))
+        sem.define(
+            "lookup",
+            ArgSpec("name", ArgType.STRING, required=False),
+            ArgSpec("cls", ArgType.STRING, required=False),
+            ArgSpec("room", ArgType.STRING, required=False),
+            description="find services by name, class path segment, and/or room",
+        )
+        sem.define("listServices")
+
+    def on_started(self) -> None:
+        self._spawn(self._sweep_loop(), "lease-sweep")
+
+    # ------------------------------------------------------------------
+    def _lease_expired(self, name: str) -> None:
+        self.records.pop(name, None)
+        self.ctx.trace.emit(self.ctx.sim.now, self.name, "lease-expired", service=name)
+
+    def _sweep_loop(self) -> Generator:
+        """Purge lapsed leases even when no queries arrive."""
+        interval = max(self.ctx.lease_duration * 0.25, 0.05)
+        while self.running:
+            yield self.ctx.sim.timeout(interval)
+            self.leases.expire(self.ctx.sim.now)
+
+    def _fresh_records(self) -> List[ServiceRecord]:
+        self.leases.expire(self.ctx.sim.now)
+        return [self.records[name] for name in sorted(self.records)]
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def cmd_register(self, request: Request) -> dict:
+        cmd = request.command
+        record = ServiceRecord(
+            name=cmd.str("name"),
+            host=cmd.str("host"),
+            port=cmd.int("port"),
+            room=cmd.str("room"),
+            cls=cmd.str("cls"),
+        )
+        self.records[record.name] = record
+        lease = self.leases.grant(record.name, self.ctx.sim.now)
+        self.ctx.trace.emit(
+            self.ctx.sim.now, self.name, "service-registered",
+            service=record.name, cls=record.cls,
+        )
+        return {"lease": float(lease.duration)}
+
+    def cmd_deregister(self, request: Request) -> dict:
+        name = request.command.str("name")
+        existed = self.leases.release(name)
+        self.records.pop(name, None)
+        if existed:
+            self.ctx.trace.emit(self.ctx.sim.now, self.name, "service-deregistered", service=name)
+        return {"removed": 1 if existed else 0}
+
+    def cmd_renewLease(self, request: Request) -> dict:
+        name = request.command.str("name")
+        self.leases.expire(self.ctx.sim.now)
+        lease = self.leases.renew(name, self.ctx.sim.now)
+        if lease is None:
+            raise ServiceError(f"no active lease for {name!r}; re-register")
+        return {"lease": float(lease.duration), "renewals": lease.renewals}
+
+    def cmd_lookup(self, request: Request) -> dict:
+        cmd = request.command
+        name = cmd.get("name")
+        cls_query = cmd.get("cls")
+        room = cmd.get("room")
+        matches = [
+            r
+            for r in self._fresh_records()
+            if (name is None or r.name == name)
+            and (cls_query is None or r.matches_class(cls_query))
+            and (room is None or r.room == room)
+        ]
+        result: dict = {"count": len(matches)}
+        if matches:
+            result["services"] = tuple(r.to_wire() for r in matches)
+        return result
+
+    def cmd_listServices(self, request: Request) -> dict:
+        records = self._fresh_records()
+        result: dict = {"count": len(records)}
+        if records:
+            result["services"] = tuple(r.to_wire() for r in records)
+        return result
+
+
+def asd_lookup(
+    client: ServiceClient,
+    asd_address: Address,
+    *,
+    name: Optional[str] = None,
+    cls: Optional[str] = None,
+    room: Optional[str] = None,
+) -> Generator:
+    """Convenience: query the ASD, return a list of :class:`ServiceRecord`.
+
+    This is the Fig. 7 client flow: ask the well-known ASD socket, get back
+    machine:port addresses, connect directly.
+    """
+    args = {}
+    if name is not None:
+        args["name"] = name
+    if cls is not None:
+        args["cls"] = cls
+    if room is not None:
+        args["room"] = room
+    reply = yield from client.call_once(asd_address, ACECmdLine("lookup", args))
+    wires = reply.get("services", ())
+    return [ServiceRecord.from_wire(w) for w in (wires if isinstance(wires, tuple) else ())]
+
+
+def asd_lookup_one(client, asd_address, **query) -> Generator:
+    """Like :func:`asd_lookup` but returns exactly one record or raises."""
+    records = yield from asd_lookup(client, asd_address, **query)
+    if not records:
+        raise CallError(f"no service matching {query!r}")
+    return records[0]

@@ -1,0 +1,147 @@
+"""AUD — ACE User Database (§4.7, Fig. 12).
+
+The interface every service uses to store and look up ACE users: account
+name, full name, hashed password, identification data (iButton serial,
+fingerprint template), public key, and current location (updated by the
+ID Monitor as users identify themselves around the environment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.lang import ArgSpec, ArgType, CommandSemantics
+from repro.security.crypto import sha256_hex
+from repro.core.daemon import Request, ServiceError
+from repro.services.base import DatabaseDaemon
+
+
+@dataclass
+class UserRecord:
+    username: str
+    fullname: str = ""
+    password_hash: str = ""
+    ibutton_serial: str = ""
+    fingerprint_template: Tuple[float, ...] = ()
+    public_key: int = 0
+    location: str = ""  # room or host of last identification
+    extra: Dict[str, str] = field(default_factory=dict)
+
+
+class UserDatabaseDaemon(DatabaseDaemon):
+    """The user-records interface of Fig. 12."""
+
+    service_type = "UserDatabase"
+
+    def __init__(self, ctx, name, host, **kwargs):
+        kwargs.setdefault("authorize_commands", False)  # identity bootstrap
+        super().__init__(ctx, name, host, **kwargs)
+        self.users: Dict[str, UserRecord] = {}
+
+    def build_semantics(self, sem: CommandSemantics) -> None:
+        sem.define(
+            "addUser",
+            ArgSpec("username", ArgType.STRING),
+            ArgSpec("fullname", ArgType.STRING, required=False, default=""),
+            ArgSpec("password", ArgType.STRING, required=False, default=""),
+            ArgSpec("ibutton", ArgType.STRING, required=False, default=""),
+            ArgSpec("fingerprint", ArgType.VECTOR, required=False),
+            description="register a new ACE user (Scenario 1)",
+        )
+        sem.define("getUser", ArgSpec("username", ArgType.STRING))
+        sem.define("removeUser", ArgSpec("username", ArgType.STRING))
+        sem.define("listUsers")
+        sem.define(
+            "setLocation",
+            ArgSpec("username", ArgType.STRING),
+            ArgSpec("location", ArgType.STRING),
+            description="track where the user last identified (Scenario 2)",
+        )
+        sem.define("findByIButton", ArgSpec("serial", ArgType.STRING))
+        sem.define("listFingerprints", description="templates for the FIU to load")
+        sem.define(
+            "checkPassword",
+            ArgSpec("username", ArgType.STRING),
+            ArgSpec("password", ArgType.STRING),
+        )
+
+    # -- helpers -------------------------------------------------------------
+    def _user(self, username: str) -> UserRecord:
+        user = self.users.get(username)
+        if user is None:
+            raise ServiceError(f"unknown user {username!r}")
+        return user
+
+    @staticmethod
+    def hash_password(password: str) -> str:
+        return sha256_hex("aud-salt:", password)
+
+    # -- handlers --------------------------------------------------------------
+    def cmd_addUser(self, request: Request) -> dict:
+        cmd = request.command
+        username = cmd.str("username")
+        is_new = username not in self.users
+        fingerprint = cmd.get("fingerprint", ())
+        record = UserRecord(
+            username=username,
+            fullname=cmd.str("fullname", ""),
+            password_hash=self.hash_password(cmd.str("password", "")),
+            ibutton_serial=cmd.str("ibutton", ""),
+            fingerprint_template=tuple(float(v) for v in fingerprint),
+        )
+        self.users[username] = record
+        self.ctx.trace.emit(self.ctx.sim.now, self.name, "user-added", user=username)
+        return {"username": username, "new": 1 if is_new else 0}
+
+    def cmd_getUser(self, request: Request) -> dict:
+        user = self._user(request.command.str("username"))
+        result = {
+            "username": user.username,
+            "fullname": user.fullname or "unknown",
+            "location": user.location or "unknown",
+            "has_ibutton": 1 if user.ibutton_serial else 0,
+            "has_fingerprint": 1 if user.fingerprint_template else 0,
+        }
+        return result
+
+    def cmd_removeUser(self, request: Request) -> dict:
+        removed = self.users.pop(request.command.str("username"), None)
+        return {"removed": 1 if removed else 0}
+
+    def cmd_listUsers(self, request: Request) -> dict:
+        result: dict = {"count": len(self.users)}
+        if self.users:
+            result["users"] = tuple(sorted(self.users))
+        return result
+
+    def cmd_setLocation(self, request: Request) -> dict:
+        cmd = request.command
+        user = self._user(cmd.str("username"))
+        user.location = cmd.str("location")
+        return {"username": user.username, "location": user.location}
+
+    def cmd_findByIButton(self, request: Request) -> dict:
+        serial = request.command.str("serial")
+        for user in self.users.values():
+            if user.ibutton_serial and user.ibutton_serial == serial:
+                return {"username": user.username}
+        raise ServiceError(f"no user with iButton serial {serial!r}")
+
+    def cmd_listFingerprints(self, request: Request) -> dict:
+        enrolled = [
+            (name, rec.fingerprint_template)
+            for name, rec in sorted(self.users.items())
+            if rec.fingerprint_template
+        ]
+        result: dict = {"count": len(enrolled)}
+        if enrolled:
+            result["users"] = tuple(name for name, _ in enrolled)
+            result["templates"] = tuple(tpl for _, tpl in enrolled)
+        return result
+
+    def cmd_checkPassword(self, request: Request) -> dict:
+        cmd = request.command
+        user = self._user(cmd.str("username"))
+        ok = user.password_hash == self.hash_password(cmd.str("password"))
+        return {"username": user.username, "valid": 1 if ok else 0}

@@ -1,0 +1,9 @@
+"""Shared intermediate daemon classes of the Fig. 6 hierarchy."""
+
+from repro.core.daemon import ACEDaemon
+
+
+class DatabaseDaemon(ACEDaemon):
+    """Base of the Database subtree (AUD, RoomDB, AuthDB)."""
+
+    service_type = "Database"

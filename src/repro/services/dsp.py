@@ -1,0 +1,198 @@
+"""Signal-processing kernels for the audio services (§4.15).
+
+Pure numpy, unit-testable in isolation:
+
+* tone/speech-like synthesis (the simulated microphones and TTS);
+* the NLMS adaptive filter used by echo cancellation;
+* Goertzel tone detection and the DTMF-style word signatures shared by
+  text-to-speech and speech-to-command.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+SAMPLE_RATE = 8000
+CHUNK_SAMPLES = 160  # 20 ms
+
+
+# ---------------------------------------------------------------------------
+# Synthesis
+# ---------------------------------------------------------------------------
+
+def tone(freq: float, n_samples: int, sample_rate: int = SAMPLE_RATE,
+         amplitude: float = 0.5, phase: float = 0.0) -> np.ndarray:
+    t = np.arange(n_samples, dtype=np.float64) / sample_rate
+    return (amplitude * np.sin(2 * np.pi * freq * t + phase)).astype(np.float32)
+
+
+def speech_like(n_samples: int, rng: np.random.Generator,
+                sample_rate: int = SAMPLE_RATE) -> np.ndarray:
+    """Rough speech surrogate: a few drifting formant tones with a slow
+    amplitude envelope plus a little noise."""
+    t = np.arange(n_samples, dtype=np.float64) / sample_rate
+    signal = np.zeros(n_samples)
+    for base in (220.0, 610.0, 1190.0):
+        freq = base * (1.0 + 0.05 * np.sin(2 * np.pi * 0.7 * t + rng.uniform(0, 6.28)))
+        signal += (1.0 / base ** 0.5) * np.sin(2 * np.pi * freq * t)
+    envelope = 0.5 * (1.0 + np.sin(2 * np.pi * 2.1 * t + rng.uniform(0, 6.28)))
+    signal = signal * envelope / np.max(np.abs(signal))
+    signal += 0.01 * rng.standard_normal(n_samples)
+    return (0.5 * signal).astype(np.float32)
+
+
+# ---------------------------------------------------------------------------
+# Echo path + NLMS cancellation
+# ---------------------------------------------------------------------------
+
+def synth_echo_path(rng: np.random.Generator, taps: int = 48,
+                    delay: int = 8, decay: float = 0.6) -> np.ndarray:
+    """A plausible room impulse response: delayed, decaying, sparse."""
+    h = np.zeros(taps)
+    h[delay] = 0.7
+    for k in range(delay + 1, taps):
+        h[k] = 0.7 * (decay ** (k - delay)) * rng.uniform(-0.4, 0.4)
+    return h
+
+
+def apply_echo(far: np.ndarray, path: np.ndarray) -> np.ndarray:
+    """What the microphone hears of the loudspeaker signal."""
+    return np.convolve(far, path)[: len(far)].astype(np.float32)
+
+
+class NLMSFilter:
+    """Normalized least-mean-squares adaptive echo canceller.
+
+    Streaming interface: feed aligned (reference, microphone) blocks;
+    returns the echo-cancelled block.  Converges to the unknown echo path
+    while the far-end signal is active.
+    """
+
+    def __init__(self, taps: int = 64, mu: float = 0.5, eps: float = 1e-6):
+        if not 0 < mu <= 2.0:
+            raise ValueError(f"step size mu={mu} outside (0, 2]")
+        self.taps = taps
+        self.mu = mu
+        self.eps = eps
+        self.weights = np.zeros(taps, dtype=np.float64)
+        self._history = np.zeros(taps, dtype=np.float64)
+
+    def process(self, reference: np.ndarray, microphone: np.ndarray) -> np.ndarray:
+        reference = np.asarray(reference, dtype=np.float64)
+        microphone = np.asarray(microphone, dtype=np.float64)
+        if reference.shape != microphone.shape:
+            raise ValueError("reference and microphone blocks must align")
+        out = np.empty_like(microphone)
+        hist = self._history
+        w = self.weights
+        for i in range(len(reference)):
+            hist[1:] = hist[:-1]
+            hist[0] = reference[i]
+            estimate = float(w @ hist)
+            error = microphone[i] - estimate
+            norm = float(hist @ hist) + self.eps
+            w += (self.mu * error / norm) * hist
+            out[i] = error
+        self._history = hist
+        self.weights = w
+        return out.astype(np.float32)
+
+
+def erle_db(echo: np.ndarray, residual: np.ndarray, eps: float = 1e-12) -> float:
+    """Echo return loss enhancement: how much echo energy was removed."""
+    num = float(np.sum(np.asarray(echo, dtype=np.float64) ** 2)) + eps
+    den = float(np.sum(np.asarray(residual, dtype=np.float64) ** 2)) + eps
+    return 10.0 * np.log10(num / den)
+
+
+# ---------------------------------------------------------------------------
+# Tone detection / word signatures (DTMF-style voice commands)
+# ---------------------------------------------------------------------------
+
+LOW_FREQS = (697.0, 770.0, 852.0, 941.0, 1040.0, 1150.0, 1270.0, 1400.0)
+HIGH_FREQS = (1633.0, 1750.0, 1880.0, 2020.0, 2170.0, 2330.0, 2500.0, 2680.0)
+
+
+def word_signature(word: str) -> Tuple[float, float]:
+    """Deterministic (low, high) tone pair encoding a command word — the
+    shared 'vocabulary' of TTS and speech-to-command."""
+    digest = hashlib.sha256(word.encode()).digest()
+    return LOW_FREQS[digest[0] % len(LOW_FREQS)], HIGH_FREQS[digest[1] % len(HIGH_FREQS)]
+
+
+def synth_word(word: str, duration_s: float = 0.3,
+               sample_rate: int = SAMPLE_RATE) -> np.ndarray:
+    """The audible form of a command word: its two signature tones."""
+    n = int(duration_s * sample_rate)
+    f_low, f_high = word_signature(word)
+    signal = tone(f_low, n, sample_rate, 0.35) + tone(f_high, n, sample_rate, 0.35)
+    # Soft attack/release so chunk boundaries don't click.
+    ramp = min(80, n // 4)
+    window = np.ones(n)
+    window[:ramp] = np.linspace(0, 1, ramp)
+    window[-ramp:] = np.linspace(1, 0, ramp)
+    return (signal * window).astype(np.float32)
+
+
+def goertzel_power(signal: np.ndarray, freq: float,
+                   sample_rate: int = SAMPLE_RATE) -> float:
+    """Power of one frequency bin (classic Goertzel recurrence)."""
+    signal = np.asarray(signal, dtype=np.float64)
+    n = len(signal)
+    if n == 0:
+        return 0.0
+    k = round(freq * n / sample_rate)
+    omega = 2.0 * np.pi * k / n
+    coeff = 2.0 * np.cos(omega)
+    s_prev = s_prev2 = 0.0
+    for x in signal:
+        s = x + coeff * s_prev - s_prev2
+        s_prev2, s_prev = s_prev, s
+    power = s_prev2 ** 2 + s_prev ** 2 - coeff * s_prev * s_prev2
+    return float(power) / n
+
+
+def detect_word(signal: np.ndarray, vocabulary: Sequence[str],
+                sample_rate: int = SAMPLE_RATE,
+                threshold: float = 4.0) -> Optional[str]:
+    """Which vocabulary word (if any) the signal carries.
+
+    Decision rule: score every word by its signature pair's combined
+    power; accept the best word only if both of its tones stand
+    ``threshold``× above the *noise floor*, estimated as the mean power of
+    all other bank frequencies (so detection works for any vocabulary
+    size, including a single word).
+    """
+    if len(signal) == 0 or not vocabulary:
+        return None
+    bank = sorted(set(LOW_FREQS) | set(HIGH_FREQS))
+    powers: Dict[float, float] = {f: goertzel_power(signal, f, sample_rate) for f in bank}
+    best_word, best_score = None, 0.0
+    for word in vocabulary:
+        f_low, f_high = word_signature(word)
+        score = powers[f_low] + powers[f_high]
+        if score > best_score:
+            best_word, best_score = word, score
+    if best_word is None:
+        return None
+    f_low, f_high = word_signature(best_word)
+    others = [p for f, p in powers.items() if f not in (f_low, f_high)]
+    floor = float(np.mean(others)) + 1e-12
+    if min(powers[f_low], powers[f_high]) < threshold * floor:
+        return None
+    return best_word
+
+
+def chunk_signal(signal: np.ndarray, chunk: int = CHUNK_SAMPLES) -> List[np.ndarray]:
+    """Split a signal into transport-sized chunks (zero-padding the tail)."""
+    signal = np.asarray(signal, dtype=np.float32)
+    chunks = []
+    for start in range(0, len(signal), chunk):
+        block = signal[start : start + chunk]
+        if len(block) < chunk:
+            block = np.pad(block, (0, chunk - len(block)))
+        chunks.append(block)
+    return chunks

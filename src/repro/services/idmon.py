@@ -1,0 +1,260 @@
+"""ID Monitor service (§4.6).
+
+Receives identification notifications from every identification device
+(FIU, iButton readers), updates the user's location in the AUD, and brings
+workspaces up at the access point (Scenarios 2–3).  Failed identifications
+are reported to the Network Logger (the paper's FBI joke lives here as a
+trace event).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.lang import ACECmdLine, ArgSpec, ArgType, CommandSemantics, parse_command
+from repro.core.client import CallError
+from repro.core.daemon import ACEDaemon, Request
+from repro.net import Address, ConnectionClosed, ConnectionRefused
+from repro.services.asd import asd_lookup
+
+#: identification-capable device classes the monitor subscribes to
+ID_DEVICE_CLASSES = ("FIU", "IButtonReader")
+
+
+class IDMonitorDaemon(ACEDaemon):
+    """Routes identification events to AUD updates and workspaces (§4.6)."""
+
+    service_type = "IDMonitor"
+
+    def __init__(self, ctx, name, host, *, auto_open_workspace: bool = True,
+                 rescan_interval: float = 10.0, **kwargs):
+        super().__init__(ctx, name, host, **kwargs)
+        self.auto_open_workspace = auto_open_workspace
+        self.rescan_interval = rescan_interval
+        self._subscribed: set = set()
+        #: username -> most recent identification location
+        self.last_seen: Dict[str, str] = {}
+        self.identifications = 0
+        self.failures = 0
+
+    def build_semantics(self, sem: CommandSemantics) -> None:
+        notify_args = (
+            ArgSpec("source", ArgType.STRING, required=False),
+            ArgSpec("trigger", ArgType.STRING, required=False),
+            ArgSpec("principal", ArgType.STRING, required=False),
+            ArgSpec("args", ArgType.STRING, required=False),
+        )
+        sem.define("onIdentified", *notify_args)
+        sem.define("onIdentifyFailed", *notify_args)
+        sem.define(
+            "onServiceRegistered",
+            ArgSpec("source", ArgType.STRING, required=False),
+            ArgSpec("trigger", ArgType.STRING, required=False),
+            ArgSpec("principal", ArgType.STRING, required=False),
+            ArgSpec("args", ArgType.STRING, required=False),
+            description="ASD registration events (Fig. 9 step 4)",
+        )
+        sem.define("getLastSeen", ArgSpec("username", ArgType.STRING))
+        sem.define(
+            "selectorShown",
+            ArgSpec("username", ArgType.STRING),
+            ArgSpec("workspaces", ArgType.VECTOR),
+            description="a workspace selector popped up (Scenario 4)",
+        )
+
+    def on_started(self) -> None:
+        self._spawn(self._watch_registrations(), "watch-asd")
+        self._spawn(self._subscribe_loop(), "subscribe")
+
+    def _watch_registrations(self) -> Generator:
+        """Hear about new identification devices the moment they register
+        with the ASD (Fig. 9 step 4), instead of waiting for a rescan."""
+        if self.ctx.asd_address is None:
+            return
+        client = self._service_client()
+        try:
+            yield from client.call_once(
+                self.ctx.asd_address,
+                ACECmdLine(
+                    "addNotification", cmd="register", listener=self.name,
+                    host=self.host.name, port=self.port, callback="onServiceRegistered",
+                ),
+            )
+        except (CallError, ConnectionClosed, ConnectionRefused):
+            pass  # the periodic rescan still covers us
+
+    def cmd_onServiceRegistered(self, request: Request) -> Generator:
+        event = self._parse_event(request)
+        if event is None:
+            return {}
+        cls_path = event.str("cls", "")
+        if not any(cls in cls_path.split("/") for cls in ID_DEVICE_CLASSES):
+            return {}
+        device_name = event.str("name")
+        device_addr = Address(event.str("host"), event.int("port"))
+        client = self._service_client()
+        for watched, callback in (("identified", "onIdentified"),
+                                  ("identifyFailed", "onIdentifyFailed")):
+            key = (device_name, watched)
+            if key in self._subscribed:
+                continue
+            try:
+                yield from client.call_once(
+                    device_addr,
+                    ACECmdLine(
+                        "addNotification", cmd=watched, listener=self.name,
+                        host=self.host.name, port=self.port, callback=callback,
+                    ),
+                )
+                self._subscribed.add(key)
+            except (CallError, ConnectionClosed, ConnectionRefused):
+                continue
+        return {}
+
+    # ------------------------------------------------------------------
+    def _subscribe_loop(self) -> Generator:
+        """Find identification devices via the ASD and register for their
+        ``identified``/``identifyFailed`` notifications; rescan so devices
+        added later are picked up too."""
+        while self.running:
+            try:
+                yield from self._subscribe_once()
+            except Exception:
+                pass
+            yield self.ctx.sim.timeout(self.rescan_interval)
+
+    def _subscribe_once(self) -> Generator:
+        if self.ctx.asd_address is None:
+            return
+        client = self._service_client()
+        for cls in ID_DEVICE_CLASSES:
+            try:
+                devices = yield from asd_lookup(client, self.ctx.asd_address, cls=cls)
+            except (CallError, ConnectionClosed, ConnectionRefused):
+                continue
+            for device in devices:
+                for watched, callback in (("identified", "onIdentified"),
+                                          ("identifyFailed", "onIdentifyFailed")):
+                    key = (device.name, watched)
+                    if key in self._subscribed:
+                        continue
+                    try:
+                        yield from client.call_once(
+                            device.address,
+                            ACECmdLine(
+                                "addNotification", cmd=watched, listener=self.name,
+                                host=self.host.name, port=self.port, callback=callback,
+                            ),
+                        )
+                        self._subscribed.add(key)
+                    except (CallError, ConnectionClosed, ConnectionRefused):
+                        continue
+
+    # ------------------------------------------------------------------
+    def _parse_event(self, request: Request) -> Optional[ACECmdLine]:
+        text = request.command.get("args")
+        if not text:
+            return None
+        try:
+            return parse_command(text)
+        except Exception:
+            return None
+
+    def cmd_onIdentified(self, request: Request) -> Generator:
+        event = self._parse_event(request)
+        if event is None:
+            return {}
+        username = event.str("username")
+        location = event.str("location")
+        self.identifications += 1
+        self.last_seen[username] = location
+        self.ctx.trace.emit(
+            self.ctx.sim.now, self.name, "user-identified",
+            user=username, location=location, device=request.command.get("source", "?"),
+        )
+        client = self._service_client()
+        # Scenario 2: update the user's current location in the AUD.
+        try:
+            auds = yield from asd_lookup(client, self.ctx.asd_address, name="aud")
+            if auds:
+                yield from client.call_once(
+                    auds[0].address,
+                    ACECmdLine("setLocation", username=username, location=location),
+                )
+        except (CallError, ConnectionClosed, ConnectionRefused):
+            pass
+        # Scenario 3/4: bring up the workspace, or a selector for several.
+        if self.auto_open_workspace:
+            yield from self._open_workspace(username, request)
+        return {"username": username}
+
+    def _open_workspace(self, username: str, request: Request) -> Generator:
+        client = self._service_client()
+        try:
+            wsses = yield from asd_lookup(client, self.ctx.asd_address, cls="WorkspaceServer")
+        except (CallError, ConnectionClosed, ConnectionRefused):
+            return
+        if not wsses:
+            return
+        wss_addr = wsses[0].address
+        # The access point is the identification device's host.
+        display = yield from self._device_host(request)
+        if display is None:
+            return
+        try:
+            listing = yield from client.call_once(
+                wss_addr, ACECmdLine("listWorkspaces", user=username)
+            )
+        except (CallError, ConnectionClosed, ConnectionRefused):
+            return
+        count = listing.int("count", 0)
+        if count == 0:
+            return
+        if count > 1:
+            # Scenario 4: a selector GUI pops up; whoever watches
+            # "selectorShown" drives the actual choice.
+            yield from self.self_execute(
+                ACECmdLine("selectorShown", username=username,
+                           workspaces=listing["workspaces"])
+            )
+            return
+        try:
+            yield from client.call_once(
+                wss_addr,
+                ACECmdLine("openWorkspace", user=username, display=display),
+            )
+        except (CallError, ConnectionClosed, ConnectionRefused):
+            pass
+
+    def _device_host(self, request: Request) -> Generator:
+        source = request.command.get("source")
+        if not source:
+            return None
+        client = self._service_client()
+        try:
+            devices = yield from asd_lookup(client, self.ctx.asd_address, name=source)
+        except (CallError, ConnectionClosed, ConnectionRefused):
+            return None
+        return devices[0].host if devices else None
+
+    def cmd_onIdentifyFailed(self, request: Request) -> Generator:
+        self.failures += 1
+        self.ctx.trace.emit(self.ctx.sim.now, self.name, "identify-failed")
+        if self.ctx.netlogger_address is not None:
+            client = self._service_client()
+            try:
+                yield from client.call_once(
+                    self.ctx.netlogger_address,
+                    ACECmdLine("logEvent", source=self.name, event="invalid_identification",
+                               detail=str(request.command.get("source", "?"))),
+                )
+            except (CallError, ConnectionClosed, ConnectionRefused):
+                pass
+        return {}
+
+    def cmd_getLastSeen(self, request: Request) -> dict:
+        username = request.command.str("username")
+        return {"username": username, "location": self.last_seen.get(username, "unknown")}
+
+    def cmd_selectorShown(self, request: Request) -> dict:
+        return {"username": request.command.str("username")}

@@ -1,0 +1,95 @@
+"""Network Logger service (§4.14).
+
+Append-only activity history "so that, if necessary, system administrators
+can investigate them for security holes or system bugs".  Other services
+send ``logEvent`` commands (startup does so automatically, Fig. 9 step 5);
+administrators query with ``queryLog``/``countEvents``.  The intrusion
+example from the paper — repeated invalid logins — is supported by
+``countEvents source=... event=...`` over a time window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.lang import ArgSpec, ArgType, CommandSemantics
+from repro.core.daemon import ACEDaemon, Request
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    time: float
+    source: str
+    event: str
+    detail: str
+
+
+class NetworkLoggerDaemon(ACEDaemon):
+    """Append-only activity log (§4.14)."""
+
+    service_type = "NetworkLogger"
+
+    def __init__(self, ctx, name, host, *, max_entries: int = 100_000, **kwargs):
+        kwargs.setdefault("authorize_commands", False)  # bootstrap service
+        super().__init__(ctx, name, host, **kwargs)
+        self.max_entries = max_entries
+        self.entries: List[LogEntry] = []
+
+    def build_semantics(self, sem: CommandSemantics) -> None:
+        sem.define(
+            "logEvent",
+            ArgSpec("source", ArgType.STRING),
+            ArgSpec("event", ArgType.STRING),
+            ArgSpec("detail", ArgType.STRING, required=False, default=""),
+        )
+        sem.define(
+            "queryLog",
+            ArgSpec("source", ArgType.STRING, required=False),
+            ArgSpec("event", ArgType.STRING, required=False),
+            ArgSpec("limit", ArgType.INTEGER, required=False, default=20),
+        )
+        sem.define(
+            "countEvents",
+            ArgSpec("source", ArgType.STRING, required=False),
+            ArgSpec("event", ArgType.STRING, required=False),
+            ArgSpec("since", ArgType.NUMBER, required=False, default=0.0),
+        )
+
+    def _matching(self, source: Optional[str], event: Optional[str], since: float = 0.0):
+        return [
+            e
+            for e in self.entries
+            if (source is None or e.source == source)
+            and (event is None or e.event == event)
+            and e.time >= since
+        ]
+
+    def cmd_logEvent(self, request: Request) -> dict:
+        cmd = request.command
+        entry = LogEntry(
+            time=self.ctx.sim.now,
+            source=cmd.str("source"),
+            event=cmd.str("event"),
+            detail=cmd.str("detail", ""),
+        )
+        self.entries.append(entry)
+        if len(self.entries) > self.max_entries:
+            # Drop the oldest decile rather than one-at-a-time churn.
+            del self.entries[: self.max_entries // 10]
+        return {"logged": 1}
+
+    def cmd_queryLog(self, request: Request) -> dict:
+        cmd = request.command
+        matches = self._matching(cmd.get("source"), cmd.get("event"))
+        limit = cmd.int("limit", 20)
+        tail = matches[-limit:] if limit > 0 else []
+        result: dict = {"count": len(matches)}
+        if tail:
+            result["events"] = tuple(f"{e.time:.6f}|{e.source}|{e.event}|{e.detail}" for e in tail)
+        return result
+
+    def cmd_countEvents(self, request: Request) -> dict:
+        cmd = request.command
+        matches = self._matching(cmd.get("source"), cmd.get("event"), cmd.float("since", 0.0))
+        return {"count": len(matches)}

@@ -1,0 +1,244 @@
+"""Streaming substrate: media chunks, the stream-daemon base, and the
+Distribution (§4.13) and Converter (§4.12) services.
+
+Media flows over the daemons' UDP data channels (§2.1.1): a source pushes
+:class:`MediaChunk` datagrams at a sink daemon's port; stream daemons
+process each chunk in ``on_datagram`` and forward the result to their
+registered sinks.  Pipelines like Fig. 13 (capture → converter → storage)
+and Fig. 15 (the audio conference) are built by chaining ``addSink``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.lang import ArgSpec, ArgType, CommandSemantics
+from repro.net import Address
+from repro.core.daemon import ACEDaemon, Request, ServiceError
+
+
+@dataclass
+class MediaChunk:
+    """One unit of streamed media."""
+
+    kind: str          # "audio" | "video"
+    fmt: str           # "f32" | "pcm16" | "raw8" | "z" (zlib-compressed)
+    seq: int
+    timestamp: float
+    data: bytes        # encoded payload
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def wire_size(self) -> int:
+        return len(self.data) + 40
+
+    # -- audio codec helpers ------------------------------------------------
+    @classmethod
+    def from_audio(cls, samples: np.ndarray, seq: int, timestamp: float,
+                   fmt: str = "f32") -> "MediaChunk":
+        samples = np.asarray(samples, dtype=np.float32)
+        if fmt == "f32":
+            data = samples.tobytes()
+        elif fmt == "pcm16":
+            data = (np.clip(samples, -1.0, 1.0) * 32767.0).astype("<i2").tobytes()
+        else:
+            raise ServiceError(f"unknown audio format {fmt!r}")
+        return cls("audio", fmt, seq, timestamp, data)
+
+    def audio(self) -> np.ndarray:
+        if self.kind != "audio":
+            raise ServiceError(f"not an audio chunk: {self.kind}")
+        if self.fmt == "f32":
+            return np.frombuffer(self.data, dtype=np.float32).copy()
+        if self.fmt == "pcm16":
+            return np.frombuffer(self.data, dtype="<i2").astype(np.float32) / 32767.0
+        raise ServiceError(f"cannot decode audio format {self.fmt!r}")
+
+    # -- video codec helpers --------------------------------------------------
+    @classmethod
+    def from_frame(cls, frame: np.ndarray, seq: int, timestamp: float) -> "MediaChunk":
+        frame = np.asarray(frame, dtype=np.uint8)
+        return cls("video", "raw8", seq, timestamp, frame.tobytes(),
+                   meta={"shape": frame.shape})
+
+    def frame(self) -> np.ndarray:
+        if self.kind != "video":
+            raise ServiceError(f"not a video chunk: {self.kind}")
+        if self.fmt == "raw8":
+            return np.frombuffer(self.data, dtype=np.uint8).reshape(self.meta["shape"])
+        if self.fmt == "z":
+            raw = zlib.decompress(self.data)
+            return np.frombuffer(raw, dtype=np.uint8).reshape(self.meta["shape"])
+        raise ServiceError(f"cannot decode video format {self.fmt!r}")
+
+
+class StreamDaemon(ACEDaemon):
+    """Base for anything that consumes/produces media streams."""
+
+    service_type = "Stream"
+
+    def __init__(self, ctx, name, host, **kwargs):
+        super().__init__(ctx, name, host, **kwargs)
+        self.sinks: List[Address] = []
+        self.chunks_in = 0
+        self.chunks_out = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    def build_semantics(self, sem: CommandSemantics) -> None:
+        sem.define(
+            "addSink",
+            ArgSpec("host", ArgType.STRING),
+            ArgSpec("port", ArgType.INTEGER),
+            description="forward processed chunks to this UDP endpoint",
+        )
+        sem.define(
+            "removeSink",
+            ArgSpec("host", ArgType.STRING),
+            ArgSpec("port", ArgType.INTEGER),
+        )
+        sem.define("getStreamStats")
+
+    # -- sink plumbing ---------------------------------------------------------
+    def cmd_addSink(self, request: Request) -> dict:
+        sink = Address(request.command.str("host"), request.command.int("port"))
+        if sink not in self.sinks:
+            self.sinks.append(sink)
+        return {"sinks": len(self.sinks)}
+
+    def cmd_removeSink(self, request: Request) -> dict:
+        sink = Address(request.command.str("host"), request.command.int("port"))
+        removed = sink in self.sinks
+        if removed:
+            self.sinks.remove(sink)
+        return {"removed": 1 if removed else 0}
+
+    def cmd_getStreamStats(self, request: Request) -> dict:
+        return {
+            "chunks_in": self.chunks_in,
+            "chunks_out": self.chunks_out,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "sinks": len(self.sinks),
+        }
+
+    def emit(self, chunk: MediaChunk) -> Generator:
+        """Send a chunk to every sink."""
+        for sink in list(self.sinks):
+            self.chunks_out += 1
+            self.bytes_out += chunk.wire_size()
+            yield from self._datagram.send(sink, chunk)
+
+    # -- inbound --------------------------------------------------------------
+    def on_datagram(self, source: Address, payload: Any):
+        if not isinstance(payload, MediaChunk):
+            return None
+        self.chunks_in += 1
+        self.bytes_in += payload.wire_size()
+        return self.on_chunk(source, payload)
+
+    def on_chunk(self, source: Address, chunk: MediaChunk):
+        """Override: process one chunk (method or generator).  Default:
+        pass-through (which is exactly the Distribution service)."""
+        return self.emit(chunk)
+
+
+class DistributionDaemon(StreamDaemon):
+    """§4.13: forward one input stream to N subscribed services (Fig. 14)."""
+
+    service_type = "Distribution"
+
+
+class ConverterDaemon(StreamDaemon):
+    """§4.12: convert stream data between formats (Fig. 13).
+
+    Supported conversions:
+
+    * audio ``f32 → pcm16`` and back (bandwidth halving, real quantization);
+    * video ``raw8 → z`` (zlib; a stand-in for the paper's MPEG step with a
+      genuine, content-dependent compression ratio) and back.
+    """
+
+    service_type = "Converter"
+
+    CONVERSIONS = ("f32:pcm16", "pcm16:f32", "raw8:z", "z:raw8")
+
+    def __init__(self, ctx, name, host, *, conversion: str = "raw8:z", **kwargs):
+        super().__init__(ctx, name, host, **kwargs)
+        self.set_conversion(conversion)
+
+    def set_conversion(self, conversion: str) -> None:
+        if conversion not in self.CONVERSIONS:
+            raise ServiceError(
+                f"unknown conversion {conversion!r}; supported: {self.CONVERSIONS}"
+            )
+        self.conversion = conversion
+        self.from_fmt, self.to_fmt = conversion.split(":")
+
+    def build_semantics(self, sem: CommandSemantics) -> None:
+        super().build_semantics(sem)
+        sem.define("setConversion", ArgSpec("conversion", ArgType.STRING))
+
+    def cmd_setConversion(self, request: Request) -> dict:
+        self.set_conversion(request.command.str("conversion"))
+        return {"conversion": self.conversion}
+
+    def convert(self, chunk: MediaChunk) -> MediaChunk:
+        if chunk.fmt != self.from_fmt:
+            raise ServiceError(
+                f"converter {self.conversion} got {chunk.fmt!r} chunk"
+            )
+        if self.conversion == "f32:pcm16":
+            return MediaChunk.from_audio(chunk.audio(), chunk.seq, chunk.timestamp, "pcm16")
+        if self.conversion == "pcm16:f32":
+            return MediaChunk.from_audio(chunk.audio(), chunk.seq, chunk.timestamp, "f32")
+        if self.conversion == "raw8:z":
+            return MediaChunk("video", "z", chunk.seq, chunk.timestamp,
+                              zlib.compress(chunk.data, level=6), dict(chunk.meta))
+        if self.conversion == "z:raw8":
+            return MediaChunk("video", "raw8", chunk.seq, chunk.timestamp,
+                              zlib.decompress(chunk.data), dict(chunk.meta))
+        raise ServiceError(f"unhandled conversion {self.conversion}")
+
+    def on_chunk(self, source: Address, chunk: MediaChunk) -> Generator:
+        converted = self.convert(chunk)
+        # Conversion costs CPU proportional to the payload.
+        yield from self.host.execute(0.01 * len(chunk.data) / 1024.0 + 0.5)
+        yield from self.emit(converted)
+
+
+class StreamSink:
+    """A plain UDP endpoint that collects chunks (test/measurement probe)."""
+
+    def __init__(self, ctx, host, port: Optional[int] = None):
+        self.ctx = ctx
+        self.sock = ctx.net.bind_datagram(host, port)
+        self.chunks: List[MediaChunk] = []
+        self.bytes_received = 0
+
+    @property
+    def address(self) -> Address:
+        return self.sock.address
+
+    def drain(self) -> int:
+        """Pull everything pending; returns how many chunks arrived."""
+        count = 0
+        while True:
+            found, item = self.sock.try_recv()
+            if not found:
+                return count
+            _source, chunk = item
+            if isinstance(chunk, MediaChunk):
+                self.chunks.append(chunk)
+                self.bytes_received += chunk.wire_size()
+                count += 1
+
+    def audio_signal(self) -> np.ndarray:
+        """Concatenate all received audio chunks in seq order."""
+        ordered = sorted((c for c in self.chunks if c.kind == "audio"), key=lambda c: c.seq)
+        if not ordered:
+            return np.zeros(0, dtype=np.float32)
+        return np.concatenate([c.audio() for c in ordered])

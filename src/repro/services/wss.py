@@ -1,0 +1,220 @@
+"""WSS — Workspace Server (§4.5, §5.4).
+
+Creates, names, tracks, and destroys user workspaces.  A workspace is one
+VNC server session (§5.4): creating a workspace asks the SAL to launch a
+``vncserver`` application "somewhere" (Scenario 1's SAL→SRM→HAL chain);
+opening one launches a ``vncviewer`` on the user's current access point.
+Passwords are generated and held by the WSS and written straight into the
+VNC server ("the VNC password files were directly accessed and modified by
+the WSS"), so identification via FIU/iButton is all a user ever does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.lang import ACECmdLine, ArgSpec, ArgType, CommandSemantics
+from repro.net import Address, ConnectionClosed, ConnectionRefused
+from repro.core.client import CallError
+from repro.core.daemon import ACEDaemon, Request, ServiceError
+from repro.services.asd import asd_lookup
+
+
+def vnc_service_name(session: str) -> str:
+    """Deterministic ACE service name of the VNC server hosting a session."""
+    return f"vnc.{session}"
+
+
+@dataclass
+class WorkspaceRecord:
+    user: str
+    name: str            # e.g. "john-default"
+    session: str         # VNC session id (same as name)
+    password: str
+    server_service: str  # ACE service name of the VNC server daemon
+    server_host: str = ""
+    server_port: int = 0
+    viewers: int = 0
+
+    @property
+    def server_address(self) -> Address:
+        return Address(self.server_host, self.server_port)
+
+
+class WorkspaceServerDaemon(ACEDaemon):
+    """Creates, names, tracks, opens, and destroys workspaces (§4.5)."""
+
+    service_type = "WorkspaceServer"
+
+    def __init__(self, ctx, name, host, *, admin_secret: str = "wss-secret", **kwargs):
+        super().__init__(ctx, name, host, **kwargs)
+        self.admin_secret = admin_secret
+        #: (user, workspace-name) -> record
+        self.workspaces: Dict[Tuple[str, str], WorkspaceRecord] = {}
+        self._pw_rng = ctx.rng.py(f"wss.{name}.passwords")
+
+    def build_semantics(self, sem: CommandSemantics) -> None:
+        sem.define(
+            "createWorkspace",
+            ArgSpec("user", ArgType.STRING),
+            ArgSpec("name", ArgType.STRING, required=False),
+            description="launch a VNC server session for the user (§7.1)",
+        )
+        sem.define(
+            "ensureDefaultWorkspace",
+            ArgSpec("user", ArgType.STRING),
+            description="create the default workspace iff the user has none",
+        )
+        sem.define("listWorkspaces", ArgSpec("user", ArgType.STRING))
+        sem.define(
+            "openWorkspace",
+            ArgSpec("user", ArgType.STRING),
+            ArgSpec("display", ArgType.STRING),
+            ArgSpec("name", ArgType.STRING, required=False),
+            description="bring the workspace up on an access point (§7.3)",
+        )
+        sem.define(
+            "destroyWorkspace",
+            ArgSpec("user", ArgType.STRING),
+            ArgSpec("name", ArgType.STRING),
+        )
+
+    # ------------------------------------------------------------------
+    def _user_workspaces(self, user: str) -> List[WorkspaceRecord]:
+        return [rec for (u, _), rec in sorted(self.workspaces.items()) if u == user]
+
+    def _gen_password(self) -> str:
+        return "pw%012x" % self._pw_rng.getrandbits(48)
+
+    def _find_service(self, cls: Optional[str] = None, name: Optional[str] = None,
+                      host: Optional[str] = None) -> Generator:
+        client = self._service_client()
+        records = yield from asd_lookup(client, self.ctx.asd_address, cls=cls, name=name)
+        if host is not None:
+            records = [r for r in records if r.host == host]
+        return records
+
+    def _create_workspace(self, user: str, ws_name: str) -> Generator:
+        key = (user, ws_name)
+        if key in self.workspaces:
+            raise ServiceError(f"workspace {ws_name!r} already exists for {user!r}")
+        password = self._gen_password()
+        session = ws_name
+        service_name = vnc_service_name(session)
+        # Scenario 1: ask the SAL to start a VNC server session "somewhere".
+        sals = yield from self._find_service(cls="SAL")
+        if not sals:
+            raise ServiceError("no SAL available to launch the VNC server")
+        client = self._service_client()
+        args = (
+            f"session={session} owner={user} password={password} "
+            f"secret={self.admin_secret}"
+        )
+        reply = yield from client.call_once(
+            sals[0].address, ACECmdLine("launchApp", app="vncserver", args=args)
+        )
+        server_host = reply.str("host")
+        # The daemon registers with the ASD under a deterministic name;
+        # poll briefly until registration lands.
+        record = WorkspaceRecord(
+            user=user, name=ws_name, session=session, password=password,
+            server_service=service_name, server_host=server_host,
+        )
+        for _ in range(20):
+            found = yield from self._find_service(name=service_name)
+            if found:
+                record.server_host = found[0].host
+                record.server_port = found[0].port
+                break
+            yield self.ctx.sim.timeout(0.1)
+        else:
+            raise ServiceError(f"VNC server {service_name!r} never registered")
+        self.workspaces[key] = record
+        self.ctx.trace.emit(
+            self.ctx.sim.now, self.name, "workspace-created",
+            user=user, workspace=ws_name, host=record.server_host,
+        )
+        return record
+
+    # -- handlers -------------------------------------------------------------
+    def cmd_createWorkspace(self, request: Request) -> Generator:
+        cmd = request.command
+        user = cmd.str("user")
+        ws_name = cmd.get("name") or f"{user}-default"
+        record = yield from self._create_workspace(user, ws_name)
+        return {
+            "user": user, "workspace": record.name,
+            "host": record.server_host, "port": record.server_port,
+        }
+
+    def cmd_ensureDefaultWorkspace(self, request: Request) -> Generator:
+        user = request.command.str("user")
+        existing = self._user_workspaces(user)
+        if existing:
+            first = existing[0]
+            return {"user": user, "workspace": first.name, "created": 0,
+                    "host": first.server_host, "port": first.server_port}
+        record = yield from self._create_workspace(user, f"{user}-default")
+        return {"user": user, "workspace": record.name, "created": 1,
+                "host": record.server_host, "port": record.server_port}
+
+    def cmd_listWorkspaces(self, request: Request) -> dict:
+        user = request.command.str("user")
+        records = self._user_workspaces(user)
+        result: dict = {"user": user, "count": len(records)}
+        if records:
+            result["workspaces"] = tuple(r.name for r in records)
+        return result
+
+    def cmd_openWorkspace(self, request: Request) -> Generator:
+        """Scenario 3: launch a viewer at the user's access point."""
+        cmd = request.command
+        user = cmd.str("user")
+        display = cmd.str("display")
+        records = self._user_workspaces(user)
+        if not records:
+            raise ServiceError(f"user {user!r} has no workspaces")
+        ws_name = cmd.get("name")
+        if ws_name is None:
+            record = records[0]
+        else:
+            matching = [r for r in records if r.name == ws_name]
+            if not matching:
+                raise ServiceError(f"user {user!r} has no workspace {ws_name!r}")
+            record = matching[0]
+        hals = yield from self._find_service(cls="HAL", host=display)
+        if not hals:
+            raise ServiceError(f"no HAL on display host {display!r}")
+        client = self._service_client()
+        args = (
+            f"server={record.server_host}:{record.server_port} "
+            f"session={record.session} password={record.password}"
+        )
+        reply = yield from client.call_once(
+            hals[0].address, ACECmdLine("launch", app="vncviewer", args=args)
+        )
+        record.viewers += 1
+        self.ctx.trace.emit(
+            self.ctx.sim.now, self.name, "workspace-opened",
+            user=user, workspace=record.name, display=display,
+        )
+        return {"user": user, "workspace": record.name,
+                "viewer_pid": reply.int("pid"), "display": display}
+
+    def cmd_destroyWorkspace(self, request: Request) -> Generator:
+        cmd = request.command
+        key = (cmd.str("user"), cmd.str("name"))
+        record = self.workspaces.pop(key, None)
+        if record is None:
+            raise ServiceError(f"no workspace {key[1]!r} for user {key[0]!r}")
+        client = self._service_client()
+        try:
+            yield from client.call_once(
+                record.server_address,
+                ACECmdLine("destroySession", session=record.session,
+                           admin=self.admin_secret),
+            )
+        except (CallError, ConnectionClosed, ConnectionRefused):
+            pass  # server already gone; the record removal is what matters
+        return {"removed": 1}

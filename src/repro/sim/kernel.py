@@ -1,0 +1,391 @@
+"""Core event loop: events, processes, and the simulator.
+
+The kernel is intentionally small.  An :class:`Event` is a one-shot future
+with callbacks; a :class:`Process` wraps a generator and drives it by
+subscribing to whatever event the generator yields; the :class:`Simulator`
+owns the event heap and the virtual clock.
+
+Only the pieces ACE needs are implemented: timeouts, process spawning and
+interruption, and ``AnyOf``/``AllOf`` composition.  The scheduling order is
+total and deterministic: ``(time, priority, sequence-number)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+#: Event priorities.  Lower sorts earlier at equal timestamps.
+URGENT = 0
+NORMAL = 1
+LOW = 2
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (re-triggering events, bad yields, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The interrupted process may catch it and continue; the event it was
+    waiting on remains pending and may be re-yielded.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* once (``succeed`` or ``fail``) and then delivered
+    to all registered callbacks when the simulator pops it off the heap.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_scheduled", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._triggered = False
+        self._scheduled = False
+        self._defused = False
+
+    # -- inspection ------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> Optional[bool]:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Mark the event successful and schedule callback delivery."""
+        self._trigger(True, value, priority)
+        return self
+
+    def fail(self, exc: BaseException, priority: int = NORMAL) -> "Event":
+        """Mark the event failed; waiting processes see ``exc`` raised."""
+        if not isinstance(exc, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exc!r}")
+        self._trigger(False, exc, priority)
+        return self
+
+    def defuse(self) -> None:
+        """Suppress the 'unhandled failure' crash for this event."""
+        self._defused = True
+
+    def _trigger(self, ok: bool, value: Any, priority: int) -> None:
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._ok = ok
+        self._value = value
+        self.sim._schedule(self, delay=0.0, priority=priority)
+
+    def _deliver(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for cb in callbacks:
+            cb(self)
+        if not self._ok and not self._defused and not callbacks:
+            # A failure nobody waited on: surface it instead of losing it.
+            raise self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None, priority: int = NORMAL):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay=delay, priority=priority)
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process itself is an event that fires when the generator returns
+    (value = the generator's return value) or raises (failure).
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume once at the current time.
+        boot = Event(sim)
+        boot.callbacks.append(self._resume)
+        boot.succeed(priority=URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            return  # already finished; interrupting is a no-op
+        kick = Event(self.sim)
+        kick.callbacks.append(lambda _ev: self._throw(Interrupt(cause)))
+        kick.succeed(priority=URGENT)
+
+    # -- internal --------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event._ok:
+            self._step(self.generator.send, event._value)
+        else:
+            event.defuse()
+            self._step(self.generator.throw, event._value)
+
+    def _throw(self, exc: BaseException) -> None:
+        if self._triggered:
+            return
+        waiting = self._waiting_on
+        if waiting is not None and waiting.callbacks is not None:
+            try:
+                waiting.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        self._step(self.generator.throw, exc)
+
+    def _step(self, call: Callable, arg: Any) -> None:
+        try:
+            target = call(arg)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            err = SimulationError(f"process {self.name!r} yielded non-event {target!r}")
+            self._step(self.generator.throw, err)
+            return
+        if target.sim is not self.sim:
+            err = SimulationError("yielded event belongs to a different simulator")
+            self._step(self.generator.throw, err)
+            return
+        if target.callbacks is None:
+            # Already processed: resume immediately via a fresh event so the
+            # heap ordering stays consistent.
+            relay = Event(self.sim)
+            relay.callbacks.append(self._resume)
+            if target._ok:
+                relay.succeed(target._value, priority=URGENT)
+            else:
+                target.defuse()
+                relay.fail(target._value, priority=URGENT)
+            self._waiting_on = relay
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf: waits on several events at once."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("condition mixes simulators")
+        self._pending = 0
+        for ev in self.events:
+            if ev.callbacks is None:
+                self._observe(ev)
+            else:
+                self._pending += 1
+                ev.callbacks.append(self._on_child)
+        self._finalize_if_done()
+
+    def _on_child(self, ev: Event) -> None:
+        self._pending -= 1
+        if not self._triggered:
+            self._observe(ev)
+            self._finalize_if_done()
+        elif not ev._ok:
+            ev.defuse()
+
+    def _observe(self, ev: Event) -> None:
+        raise NotImplementedError
+
+    def _finalize_if_done(self) -> None:
+        raise NotImplementedError
+
+    def results(self) -> dict[Event, Any]:
+        """Values of all child events that have completed successfully."""
+        return {
+            ev: ev._value
+            for ev in self.events
+            if ev._triggered and ev._ok and ev.callbacks is None
+        }
+
+
+class AnyOf(_Condition):
+    """Fires when the first child event fires (success or failure)."""
+
+    __slots__ = ()
+
+    def _observe(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if ev._ok:
+            self.succeed({ev: ev._value})
+        else:
+            ev.defuse()
+            self.fail(ev._value)
+
+    def _finalize_if_done(self) -> None:
+        if not self._triggered and not self.events:
+            self.succeed({})
+
+
+class AllOf(_Condition):
+    """Fires when every child has fired; fails fast on any child failure."""
+
+    __slots__ = ()
+
+    def _observe(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev._ok:
+            ev.defuse()
+            self.fail(ev._value)
+
+    def _finalize_if_done(self) -> None:
+        if self._triggered:
+            return
+        if all(ev._triggered and ev.callbacks is None for ev in self.events):
+            self.succeed({ev: ev._value for ev in self.events})
+
+
+class Simulator:
+    """The event loop: a heap of ``(time, priority, seq, event)`` entries."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None, priority: int = NORMAL) -> Timeout:
+        return Timeout(self, delay, value, priority)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Spawn a new process from a generator."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float, priority: int) -> None:
+        if event._scheduled:
+            raise SimulationError(f"{event!r} scheduled twice")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:
+            raise SimulationError("time went backwards")
+        self._now = when
+        event._deliver()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or the clock would pass ``until``.
+
+        When ``until`` is given the clock is always advanced to exactly
+        ``until`` on return, even if the heap drained earlier.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            if until is None:
+                while self._heap:
+                    self.step()
+            else:
+                if until < self._now:
+                    raise SimulationError(f"until={until} is in the past (now={self._now})")
+                while self._heap and self._heap[0][0] <= until:
+                    self.step()
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_process(self, generator: Generator, name: str = "", timeout: Optional[float] = None) -> Any:
+        """Convenience: spawn a process, run until it finishes, return its value.
+
+        Raises whatever the process raised; raises ``SimulationError`` if the
+        heap drains (or ``timeout`` elapses) before the process completes.
+        """
+        proc = self.process(generator, name=name)
+        deadline = None if timeout is None else self._now + timeout
+        while not proc.triggered:
+            if not self._heap:
+                raise SimulationError(f"deadlock: process {proc.name!r} never completed")
+            if deadline is not None and self._heap[0][0] > deadline:
+                raise SimulationError(f"process {proc.name!r} exceeded timeout {timeout}")
+            self.step()
+        # Drain the delivery of the completion event itself.
+        while self._heap and not proc.processed and self._heap[0][0] <= self._now:
+            self.step()
+        if proc.ok:
+            return proc.value
+        proc.defuse()
+        raise proc.value

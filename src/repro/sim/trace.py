@@ -1,0 +1,84 @@
+"""Structured event tracing.
+
+Scenario experiments (E12–E15) reproduce the paper's step-by-step figures
+(Figs. 9, 18, 19) by emitting a :class:`TraceRecord` per protocol step and
+then asserting the ordering/latency of the trace.  The recorder is a plain
+append-only log — cheap enough to leave on everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped step: who did what, with free-form detail."""
+
+    time: float
+    source: str
+    kind: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        extras = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time:12.6f}] {self.source:<24} {self.kind} {extras}".rstrip()
+
+
+class TraceRecorder:
+    """Append-only trace log with simple query helpers."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+
+    def emit(self, time: float, source: str, kind: str, **detail: Any) -> None:
+        if self.enabled:
+            self.records.append(TraceRecord(time, source, kind, detail))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def filter(self, kind: Optional[str] = None, source: Optional[str] = None) -> List[TraceRecord]:
+        """Records matching the given kind and/or source."""
+        out = self.records
+        if kind is not None:
+            out = [r for r in out if r.kind == kind]
+        if source is not None:
+            out = [r for r in out if r.source == source]
+        return list(out)
+
+    def first(self, kind: str) -> Optional[TraceRecord]:
+        for rec in self.records:
+            if rec.kind == kind:
+                return rec
+        return None
+
+    def last(self, kind: str) -> Optional[TraceRecord]:
+        for rec in reversed(self.records):
+            if rec.kind == kind:
+                return rec
+        return None
+
+    def span(self, start_kind: str, end_kind: str) -> Optional[float]:
+        """Elapsed time from the first ``start_kind`` to the last ``end_kind``."""
+        start = self.first(start_kind)
+        end = self.last(end_kind)
+        if start is None or end is None:
+            return None
+        return end.time - start.time
+
+    def kinds(self) -> List[str]:
+        """Kinds in first-occurrence order (useful for step-order asserts)."""
+        seen: List[str] = []
+        for rec in self.records:
+            if rec.kind not in seen:
+                seen.append(rec.kind)
+        return seen
+
+    def clear(self) -> None:
+        self.records.clear()

@@ -1,0 +1,138 @@
+"""Client-side access to the persistent store cluster.
+
+A :class:`StoreClient` knows the replica addresses and:
+
+* **writes** to the first reachable replica (which replicates onward);
+* **reads** with failover — and optional round-robin balancing across
+  replicas, the property that removes the single-server bottleneck;
+* offers the checkpoint/restore API restart/robust applications use
+  (``save_state`` / ``load_state``, §5.2–5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.lang import ACECmdLine
+from repro.net import Address, ConnectionClosed, ConnectionRefused
+from repro.net.host import Host, HostDownError
+
+from repro.core.client import CallError, ServiceClient
+from repro.core.context import DaemonContext
+from repro.store.namespace import decode_attrs, encode_attrs
+
+
+class StoreUnavailable(Exception):
+    """No replica answered."""
+
+
+class StoreClient:
+    """One principal's handle on the replicated store."""
+
+    def __init__(
+        self,
+        ctx: DaemonContext,
+        host: Host,
+        replicas: List[Address],
+        principal: str = "store-client",
+        balance_reads: bool = True,
+    ):
+        if not replicas:
+            raise ValueError("need at least one replica address")
+        self.ctx = ctx
+        self.replicas = list(replicas)
+        self.balance_reads = balance_reads
+        self._client = ServiceClient(ctx, host, principal=principal)
+        self._read_index = 0
+
+    # ------------------------------------------------------------------
+    def _call_with_failover(self, command: ACECmdLine, order: List[Address]) -> Generator:
+        last_error: Optional[Exception] = None
+        for replica in order:
+            try:
+                reply = yield from self._client.call_once(replica, command, attach=False)
+                return reply
+            except (ConnectionClosed, ConnectionRefused, HostDownError) as exc:
+                last_error = exc
+                continue
+        raise StoreUnavailable(f"all replicas failed for {command.name}: {last_error}")
+
+    def _write_order(self) -> List[Address]:
+        return list(self.replicas)
+
+    def _read_order(self) -> List[Address]:
+        if not self.balance_reads:
+            return list(self.replicas)
+        start = self._read_index % len(self.replicas)
+        self._read_index += 1
+        return self.replicas[start:] + self.replicas[:start]
+
+    # ------------------------------------------------------------------
+    def put(self, path: str, attrs: Dict[str, str]) -> Generator:
+        reply = yield from self._call_with_failover(
+            ACECmdLine("psPut", path=path, value=encode_attrs(attrs)),
+            self._write_order(),
+        )
+        return reply.str("version")
+
+    def get(self, path: str) -> Generator:
+        """Returns the attribute dict, or None when the object is absent."""
+        reply = yield from self._call_with_failover_checked(
+            ACECmdLine("psGet", path=path), self._read_order()
+        )
+        if reply is None:
+            return None
+        return decode_attrs(reply.str("value", ""))
+
+    def _call_with_failover_checked(self, command: ACECmdLine, order: List[Address]) -> Generator:
+        """Like _call_with_failover but treats cmdFailed as 'absent'."""
+        last_error: Optional[Exception] = None
+        for replica in order:
+            try:
+                conn = yield from self._client.connect(replica, attach=False)
+                try:
+                    reply = yield from conn.call(command, check=False)
+                finally:
+                    conn.close()
+                if reply.name != "cmdOk":
+                    return None
+                return reply
+            except (ConnectionClosed, ConnectionRefused, HostDownError) as exc:
+                last_error = exc
+                continue
+        raise StoreUnavailable(f"all replicas failed for {command.name}: {last_error}")
+
+    def delete(self, path: str) -> Generator:
+        try:
+            yield from self._call_with_failover(
+                ACECmdLine("psDelete", path=path), self._write_order()
+            )
+            return True
+        except CallError:
+            return False
+
+    def list(self, prefix: str = "/") -> Generator:
+        reply = yield from self._call_with_failover(
+            ACECmdLine("psList", prefix=prefix), self._read_order()
+        )
+        paths = reply.get("paths", ())
+        return list(paths) if isinstance(paths, tuple) else []
+
+    # ------------------------------------------------------------------
+    # Checkpoint API for restart/robust applications
+    # ------------------------------------------------------------------
+    @staticmethod
+    def state_path(app_id: str) -> str:
+        return f"/apps/{app_id}/state"
+
+    def save_state(self, app_id: str, state: Dict[str, str]) -> Generator:
+        version = yield from self.put(self.state_path(app_id), state)
+        return version
+
+    def load_state(self, app_id: str) -> Generator:
+        state = yield from self.get(self.state_path(app_id))
+        return state
+
+    def clear_state(self, app_id: str) -> Generator:
+        ok = yield from self.delete(self.state_path(app_id))
+        return ok

@@ -1,0 +1,176 @@
+"""The object-oriented namespace a store server holds.
+
+Objects live at slash-separated paths (``/wss/workspaces/john-default``)
+and carry a flat string→string attribute dict plus a version for
+last-writer-wins replication.  Attribute dicts cross the wire as one
+encoded string (:func:`encode_attrs`), since ACE argument values are flat.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+_PATH_RE = re.compile(r"^(/[A-Za-z0-9_.\-]+)+$")
+
+
+class NamespaceError(Exception):
+    """Bad path or malformed attribute encoding."""
+
+
+@dataclass(frozen=True, order=True)
+class Version:
+    """Monotonic (counter, site) pair; totally ordered for LWW."""
+
+    counter: int
+    site: str
+
+    def next_after(self, site: str) -> "Version":
+        return Version(self.counter + 1, site)
+
+    def to_wire(self) -> str:
+        return f"{self.counter}@{self.site}"
+
+    @classmethod
+    def from_wire(cls, text: str) -> "Version":
+        counter, _, site = text.partition("@")
+        return cls(int(counter), site)
+
+
+ZERO_VERSION = Version(0, "")
+
+
+@dataclass
+class StoredObject:
+    path: str
+    attrs: Dict[str, str]
+    version: Version
+    deleted: bool = False  # tombstone so deletes replicate
+
+
+def check_path(path: str) -> str:
+    if not _PATH_RE.match(path):
+        raise NamespaceError(f"bad object path {path!r}")
+    return path
+
+
+def encode_attrs(attrs: Dict[str, str]) -> str:
+    """Flat dict → one wire string.  Keys must be words; values arbitrary
+    printable strings (escaped)."""
+    parts = []
+    for key in sorted(attrs):
+        if not re.match(r"^[A-Za-z0-9_]+$", key):
+            raise NamespaceError(f"bad attribute name {key!r}")
+        value = str(attrs[key]).replace("\\", "\\\\").replace("&", "\\a").replace("=", "\\e")
+        parts.append(f"{key}={value}")
+    return "&".join(parts)
+
+
+def decode_attrs(text: str) -> Dict[str, str]:
+    if not text:
+        return {}
+    attrs: Dict[str, str] = {}
+    for pair in _split_unescaped(text, "&"):
+        key, sep, value = pair.partition("=")
+        if not sep:
+            raise NamespaceError(f"malformed attribute pair {pair!r}")
+        attrs[key] = (
+            value.replace("\\e", "=").replace("\\a", "&").replace("\\\\", "\\")
+        )
+    return attrs
+
+
+def _split_unescaped(text: str, sep: str) -> List[str]:
+    out, buf, i = [], [], 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and i + 1 < len(text):
+            buf.append(text[i : i + 2])
+            i += 2
+            continue
+        if ch == sep:
+            out.append("".join(buf))
+            buf = []
+        else:
+            buf.append(ch)
+        i += 1
+    out.append("".join(buf))
+    return out
+
+
+class ObjectNamespace:
+    """One replica's object table."""
+
+    def __init__(self, site: str):
+        self.site = site
+        self._objects: Dict[str, StoredObject] = {}
+        self._clock = 0
+
+    def __len__(self) -> int:
+        return sum(1 for o in self._objects.values() if not o.deleted)
+
+    # -- local writes (coordinator side) ------------------------------------
+    def next_version(self) -> Version:
+        self._clock += 1
+        return Version(self._clock, self.site)
+
+    def _observe(self, version: Version) -> None:
+        self._clock = max(self._clock, version.counter)
+
+    def put(self, path: str, attrs: Dict[str, str]) -> StoredObject:
+        check_path(path)
+        obj = StoredObject(path, dict(attrs), self.next_version())
+        self._objects[path] = obj
+        return obj
+
+    def delete(self, path: str) -> Optional[StoredObject]:
+        check_path(path)
+        existing = self._objects.get(path)
+        if existing is None or existing.deleted:
+            return None
+        tombstone = StoredObject(path, {}, self.next_version(), deleted=True)
+        self._objects[path] = tombstone
+        return tombstone
+
+    # -- replica application (LWW) ----------------------------------------------
+    def apply(self, obj: StoredObject) -> bool:
+        """Apply a remote write; returns True when it won (was newer)."""
+        self._observe(obj.version)
+        existing = self._objects.get(obj.path)
+        if existing is not None and existing.version >= obj.version:
+            return False
+        self._objects[obj.path] = obj
+        return True
+
+    # -- reads --------------------------------------------------------------------
+    def get(self, path: str) -> Optional[StoredObject]:
+        obj = self._objects.get(path)
+        if obj is None or obj.deleted:
+            return None
+        return obj
+
+    def list(self, prefix: str = "/") -> List[str]:
+        return sorted(
+            path
+            for path, obj in self._objects.items()
+            if not obj.deleted and path.startswith(prefix)
+        )
+
+    # -- anti-entropy -----------------------------------------------------------------
+    def digest(self) -> Dict[str, Version]:
+        """path → version of everything including tombstones."""
+        return {path: obj.version for path, obj in self._objects.items()}
+
+    def newer_than(self, remote: Dict[str, Version]) -> List[StoredObject]:
+        """Objects the remote is missing or holds older versions of."""
+        out = []
+        for path, obj in self._objects.items():
+            theirs = remote.get(path)
+            if theirs is None or theirs < obj.version:
+                out.append(obj)
+        return sorted(out, key=lambda o: o.path)
+
+    def raw(self, path: str) -> Optional[StoredObject]:
+        """Including tombstones (replication internals)."""
+        return self._objects.get(path)

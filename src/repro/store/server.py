@@ -1,0 +1,243 @@
+"""Persistent store server daemon.
+
+Each replica:
+
+* serves ``psPut``/``psGet``/``psDelete``/``psList`` to clients;
+* on a client write, applies locally then *synchronously* pushes the
+  versioned object to every peer (the paper's "constant data
+  synchronization"), tolerating unreachable peers;
+* runs an anti-entropy loop: periodically exchanges digests with a peer
+  and pulls anything newer, so a crashed-and-restarted replica converges
+  back to "the same exact data ... within each of their individual
+  storage areas".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from repro.lang import ACECmdLine, ArgSpec, ArgType, CommandSemantics
+from repro.net import Address, ConnectionClosed, ConnectionRefused
+from repro.net.host import HostDownError
+from repro.core.client import CallError
+from repro.core.daemon import ACEDaemon, Request, ServiceError
+from repro.store.namespace import (
+    NamespaceError,
+    ObjectNamespace,
+    StoredObject,
+    Version,
+    decode_attrs,
+    encode_attrs,
+)
+
+
+class PersistentStoreDaemon(ACEDaemon):
+    """One replica of the Fig. 17 persistent-store cluster."""
+
+    service_type = "PersistentStore"
+
+    def __init__(self, ctx, name, host, *, peers: Optional[List[Address]] = None,
+                 sync_interval: float = 5.0, replicate_writes: bool = True, **kwargs):
+        kwargs.setdefault("authorize_commands", False)  # robust core service
+        super().__init__(ctx, name, host, **kwargs)
+        self.namespace = ObjectNamespace(site=name)
+        self.peers: List[Address] = list(peers or [])
+        self.sync_interval = sync_interval
+        self.replicate_writes = replicate_writes
+        self.writes = 0
+        self.reads = 0
+        self.replications_sent = 0
+        self.replications_applied = 0
+        self.syncs_completed = 0
+
+    def build_semantics(self, sem: CommandSemantics) -> None:
+        sem.define(
+            "psPut",
+            ArgSpec("path", ArgType.STRING),
+            ArgSpec("value", ArgType.STRING, required=False, default=""),
+            description="store an object (coordinator write)",
+        )
+        sem.define("psGet", ArgSpec("path", ArgType.STRING))
+        sem.define("psDelete", ArgSpec("path", ArgType.STRING))
+        sem.define("psList", ArgSpec("prefix", ArgType.STRING, required=False, default="/"))
+        sem.define(
+            "psReplicate",
+            ArgSpec("path", ArgType.STRING),
+            ArgSpec("value", ArgType.STRING, required=False, default=""),
+            ArgSpec("version", ArgType.STRING),
+            ArgSpec("deleted", ArgType.INTEGER, required=False, default=0),
+            description="peer-to-peer versioned write propagation",
+        )
+        sem.define("psDigest", description="path|version listing for anti-entropy")
+        sem.define("psStats")
+
+    def set_peers(self, peers: List[Address]) -> None:
+        self.peers = [p for p in peers if p != self.address]
+
+    def on_started(self) -> None:
+        self._spawn(self._anti_entropy_loop(), "anti-entropy")
+
+    # ------------------------------------------------------------------
+    # Replication
+    # ------------------------------------------------------------------
+    def _replicate(self, obj: StoredObject) -> Generator:
+        """Push one object to all peers, best effort, in parallel."""
+        if not self.replicate_writes or not self.peers:
+            return 0
+        procs = []
+        for peer in self.peers:
+            procs.append(self._spawn(self._push_to_peer(peer, obj), "replicate"))
+        results = yield self.ctx.sim.all_of(procs)
+        return sum(1 for v in results.values() if v)
+
+    def _push_to_peer(self, peer: Address, obj: StoredObject) -> Generator:
+        client = self._service_client()
+        command = ACECmdLine(
+            "psReplicate",
+            path=obj.path,
+            value=encode_attrs(obj.attrs),
+            version=obj.version.to_wire(),
+            deleted=1 if obj.deleted else 0,
+        )
+        try:
+            yield from client.call_once(peer, command, attach=False)
+            self.replications_sent += 1
+            return True
+        except (CallError, ConnectionClosed, ConnectionRefused):
+            return False
+
+    def _anti_entropy_loop(self) -> Generator:
+        """Round-robin digest exchange with peers."""
+        index = 0
+        while self.running:
+            yield self.ctx.sim.timeout(self.sync_interval)
+            if not self.peers or not self.running:
+                continue
+            peer = self.peers[index % len(self.peers)]
+            index += 1
+            try:
+                yield from self._sync_with(peer)
+                self.syncs_completed += 1
+            except HostDownError:
+                return  # our own host died; the daemon is gone
+            except (CallError, ConnectionClosed, ConnectionRefused):
+                continue
+
+    def _sync_with(self, peer: Address) -> Generator:
+        """Pull anything the peer has that is newer than our copy."""
+        client = self._service_client()
+        conn = yield from client.connect(peer, attach=False)
+        try:
+            digest_reply = yield from conn.call(ACECmdLine("psDigest"))
+            entries = digest_reply.get("entries", ())
+            remote: Dict[str, Version] = {}
+            for entry in entries if isinstance(entries, tuple) else ():
+                path, _, version = entry.rpartition("|")
+                remote[path] = Version.from_wire(version)
+            mine = self.namespace.digest()
+            # Pull objects where the remote is strictly newer (or we lack).
+            for path, their_version in sorted(remote.items()):
+                ours = mine.get(path)
+                if ours is not None and ours >= their_version:
+                    continue
+                reply = yield from conn.call(
+                    ACECmdLine("psGet", path=path), check=False
+                )
+                if reply.name != "cmdOk":
+                    # Deleted remotely: replicate the tombstone.
+                    if reply.get("deleted") == 1 and reply.get("version"):
+                        self.namespace.apply(StoredObject(
+                            path, {}, Version.from_wire(reply.str("version")), deleted=True
+                        ))
+                    continue
+                obj = StoredObject(
+                    path,
+                    decode_attrs(reply.str("value", "")),
+                    Version.from_wire(reply.str("version")),
+                )
+                if self.namespace.apply(obj):
+                    self.replications_applied += 1
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def cmd_psPut(self, request: Request) -> Generator:
+        cmd = request.command
+        try:
+            attrs = decode_attrs(cmd.str("value", ""))
+            obj = self.namespace.put(cmd.str("path"), attrs)
+        except NamespaceError as exc:
+            raise ServiceError(str(exc))
+        self.writes += 1
+        acks = yield from self._replicate(obj)
+        return {"path": obj.path, "version": obj.version.to_wire(),
+                "replicas": (acks or 0) + 1}
+
+    def cmd_psGet(self, request: Request) -> dict:
+        path = request.command.str("path")
+        self.reads += 1
+        obj = self.namespace.get(path)
+        if obj is None:
+            raw = self.namespace.raw(path)
+            if raw is not None and raw.deleted:
+                # Report the tombstone so anti-entropy can replicate deletes.
+                from repro.lang.command import error_reply
+
+                return error_reply(request.command, f"object {path!r} deleted",
+                                   deleted=1, version=raw.version.to_wire())
+            raise ServiceError(f"no object at {path!r}")
+        return {"path": path, "value": encode_attrs(obj.attrs),
+                "version": obj.version.to_wire()}
+
+    def cmd_psDelete(self, request: Request) -> Generator:
+        path = request.command.str("path")
+        try:
+            tombstone = self.namespace.delete(path)
+        except NamespaceError as exc:
+            raise ServiceError(str(exc))
+        if tombstone is None:
+            raise ServiceError(f"no object at {path!r}")
+        self.writes += 1
+        acks = yield from self._replicate(tombstone)
+        return {"path": path, "replicas": (acks or 0) + 1}
+
+    def cmd_psList(self, request: Request) -> dict:
+        paths = self.namespace.list(request.command.str("prefix", "/"))
+        result: dict = {"count": len(paths)}
+        if paths:
+            result["paths"] = tuple(paths)
+        return result
+
+    def cmd_psReplicate(self, request: Request) -> dict:
+        cmd = request.command
+        obj = StoredObject(
+            cmd.str("path"),
+            decode_attrs(cmd.str("value", "")),
+            Version.from_wire(cmd.str("version")),
+            deleted=bool(cmd.int("deleted", 0)),
+        )
+        won = self.namespace.apply(obj)
+        if won:
+            self.replications_applied += 1
+        return {"applied": 1 if won else 0}
+
+    def cmd_psDigest(self, request: Request) -> dict:
+        digest = self.namespace.digest()
+        result: dict = {"count": len(digest)}
+        if digest:
+            result["entries"] = tuple(
+                f"{path}|{version.to_wire()}" for path, version in sorted(digest.items())
+            )
+        return result
+
+    def cmd_psStats(self, request: Request) -> dict:
+        return {
+            "objects": len(self.namespace),
+            "writes": self.writes,
+            "reads": self.reads,
+            "replications_sent": self.replications_sent,
+            "replications_applied": self.replications_applied,
+            "syncs": self.syncs_completed,
+        }

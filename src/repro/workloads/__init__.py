@@ -1,0 +1,13 @@
+"""Workload generators for the benchmark harness."""
+
+from repro.workloads.clients import (
+    closed_loop_clients,
+    open_loop_arrivals,
+    user_session_workload,
+)
+
+__all__ = [
+    "closed_loop_clients",
+    "open_loop_arrivals",
+    "user_session_workload",
+]

@@ -1,0 +1,92 @@
+"""Tests for the Fig. 2 control-GUI model."""
+
+import pytest
+
+from repro.apps.controlgui import ACEControlGUI
+from repro.core import CallError
+from repro.env import ACEEnvironment
+from repro.lang import ACECmdLine
+from repro.services.devices import Epson7350ProjectorDaemon, VCC4CameraDaemon
+
+
+@pytest.fixture
+def gui_env():
+    env = ACEEnvironment(seed=130)
+    env.add_infrastructure("infra", with_wss=False, with_idmon=False)
+    env.add_room("hawk", dims=(10.0, 8.0, 3.0))
+    env.add_room("jay", dims=(6.0, 5.0, 3.0))
+    hawk_host = env.add_workstation("podium", room="hawk", monitors=False)
+    jay_host = env.add_workstation("jaybox", room="jay", monitors=False)
+    env.add_device(VCC4CameraDaemon, "camera.hawk", hawk_host, room="hawk")
+    env.add_device(Epson7350ProjectorDaemon, "projector.hawk", hawk_host, room="hawk")
+    env.add_device(VCC4CameraDaemon, "camera.jay", jay_host, room="jay")
+    env.boot()
+    gui = ACEControlGUI(env.client(env.net.host("infra"), principal="gui-user"),
+                        env.asd_address, env.ctx.roomdb_address)
+    env.run(gui.refresh())
+    return env, gui
+
+
+def test_tree_groups_services_by_room(gui_env):
+    env, gui = gui_env
+    lines = gui.tree_lines()
+    hawk_idx = lines.index("    hawk")
+    jay_idx = lines.index("    jay")
+    assert "        camera.hawk" in lines[hawk_idx:jay_idx] or "        camera.hawk" in lines
+    hawk_children = [n.label for n in gui.root.children if n.label == "hawk"][0:]
+    hawk_node = next(n for n in gui.root.children if n.label == "hawk")
+    assert {c.label for c in hawk_node.children} >= {"camera.hawk", "projector.hawk"}
+    jay_node = next(n for n in gui.root.children if n.label == "jay")
+    assert "camera.jay" in {c.label for c in jay_node.children}
+    del hawk_children
+
+
+def test_select_exposes_device_controls(gui_env):
+    env, gui = gui_env
+    controls = env.run(gui.select("camera.hawk"))
+    names = {c.command for c in controls}
+    assert {"setPosition", "setPanTilt", "setZoom", "power"} <= names
+    assert "attach" not in names  # plumbing commands hidden
+
+
+def test_invoke_drives_the_device(gui_env):
+    env, gui = gui_env
+
+    def drive():
+        yield from gui.select("projector.hawk")
+        yield from gui.invoke(ACECmdLine("power", state="on"))
+        reply = yield from gui.invoke(ACECmdLine("setBrightness", level=90))
+        return reply
+
+    reply = env.run(drive())
+    assert reply["level"] == 90
+    assert env.daemon("projector.hawk").brightness == 90
+
+
+def test_select_unknown_service(gui_env):
+    env, gui = gui_env
+
+    def go():
+        with pytest.raises(CallError, match="no service"):
+            yield from gui.select("ghost")
+
+    env.run(go())
+
+
+def test_invoke_before_select(gui_env):
+    env, gui = gui_env
+
+    def go():
+        with pytest.raises(CallError, match="select a service"):
+            yield from gui.invoke(ACECmdLine("ping"))
+
+    env.run(go())
+
+
+def test_refresh_picks_up_new_devices(gui_env):
+    env, gui = gui_env
+    host = env.add_workstation("late", room="jay", monitors=False)
+    env.add_device(Epson7350ProjectorDaemon, "projector.jay", host, room="jay")
+    env.run_for(2.0)
+    env.run(gui.refresh())
+    assert gui.find("projector.jay") is not None

@@ -1,0 +1,125 @@
+"""Unit tests for the application runner and registry (§5.1)."""
+
+import pytest
+
+from repro.apps.runner import (
+    AppClass,
+    AppRegistry,
+    AppState,
+    Application,
+    CpuSpinner,
+    IdleApplication,
+    _parse_kv,
+)
+from repro.core import DaemonContext
+from repro.net import Network
+from repro.sim import RngRegistry, Simulator
+
+
+def make_ctx():
+    sim = Simulator()
+    net = Network(sim, RngRegistry(1))
+    host = net.make_host("h", bogomips=800.0)
+    return DaemonContext(sim=sim, net=net), host
+
+
+def test_parse_kv():
+    assert _parse_kv("a=1 b=two  c=x=y") == {"a": "1", "b": "two", "c": "x=y"}
+    assert _parse_kv("") == {}
+    assert _parse_kv("loneword") == {}
+
+
+def test_idle_app_runs_until_stopped():
+    ctx, host = make_ctx()
+    app = IdleApplication(ctx, host, "idle").start()
+    ctx.sim.run(until=10.0)
+    assert app.state is AppState.RUNNING
+    app.stop()
+    ctx.sim.run(until=11.0)
+    assert app.state is AppState.STOPPED
+    assert app.exit_reason == "stopped"
+
+
+def test_crash_injection_marks_crashed():
+    ctx, host = make_ctx()
+    app = IdleApplication(ctx, host, "idle").start()
+    ctx.sim.run(until=1.0)
+    app.crash()
+    ctx.sim.run(until=2.0)
+    assert app.state is AppState.CRASHED
+    assert app.exit_reason == "injected crash"
+
+
+def test_host_death_crashes_app():
+    ctx, host = make_ctx()
+    app = CpuSpinner(ctx, host, "spin", "work=8000 interval=0.1").start()
+    ctx.sim.run(until=1.0)
+    host.crash()
+    ctx.sim.run(until=20.0)
+    assert app.state is AppState.CRASHED
+    assert app.exit_reason == "host down"
+
+
+def test_finite_spinner_completes():
+    ctx, host = make_ctx()
+    app = CpuSpinner(ctx, host, "spin", "work=400 interval=0.1 iterations=3").start()
+    ctx.sim.run(until=10.0)
+    assert app.state is AppState.STOPPED
+    assert app.exit_reason == "completed"
+
+
+def test_exception_in_body_becomes_crash():
+    ctx, host = make_ctx()
+
+    class Buggy(Application):
+        def body(self):
+            yield ctx.sim.timeout(0.5)
+            raise RuntimeError("null pointer, probably")
+
+    app = Buggy(ctx, host, "buggy").start()
+    ctx.sim.run(until=2.0)
+    assert app.state is AppState.CRASHED
+    assert "null pointer" in app.exit_reason
+
+
+def test_on_exit_callbacks_fire_once():
+    ctx, host = make_ctx()
+    exits = []
+    app = IdleApplication(ctx, host, "idle")
+    app.on_exit(lambda a: exits.append(a.state))
+    app.start()
+    ctx.sim.run(until=1.0)
+    app.stop()
+    ctx.sim.run(until=2.0)
+    assert exits == [AppState.STOPPED]
+
+
+def test_pids_unique_and_registry():
+    ctx, host = make_ctx()
+    registry = AppRegistry()
+    a = registry.create("idle", ctx, host)
+    b = registry.create("cpu_spinner", ctx, host, "work=1")
+    assert a.pid != b.pid
+    assert "idle" in registry and "vncserver" not in registry
+    with pytest.raises(KeyError, match="unknown application"):
+        registry.create("ghost", ctx, host)
+    registry.register("ghost", lambda c, h, args: IdleApplication(c, h, "ghost", args))
+    assert "ghost" in registry.known()
+
+
+def test_app_classes():
+    assert IdleApplication.app_class is AppClass.TEMPORARY
+    from repro.apps.factories import VNCServerApp
+
+    assert VNCServerApp.app_class is AppClass.RESTART
+    from repro.apps.robust import CheckpointingCounterApp
+
+    assert CheckpointingCounterApp.app_class is AppClass.ROBUST
+
+
+def test_double_start_is_noop():
+    ctx, host = make_ctx()
+    app = IdleApplication(ctx, host, "idle").start()
+    proc = app._proc
+    app.start()
+    assert app._proc is proc

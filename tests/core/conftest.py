@@ -1,0 +1,101 @@
+"""Shared fixtures: a minimal ACE with ASD + RoomDB + NetLogger + a toy daemon."""
+
+import pytest
+
+from repro.core import ACEDaemon, DaemonContext, ServiceClient
+from repro.core.daemon import Request, ServiceError
+from repro.lang import ArgSpec, ArgType, CommandSemantics
+from repro.net import Network
+from repro.net.address import WellKnownPorts
+from repro.services.asd import ServiceDirectoryDaemon
+from repro.services.netlogger import NetworkLoggerDaemon
+from repro.services.roomdb import RoomDatabaseDaemon
+from repro.sim import RngRegistry, Simulator
+
+
+class EchoDaemon(ACEDaemon):
+    """Tiny test service: echo, slowEcho (takes sim time), boom (fails)."""
+
+    service_type = "Echo"
+
+    def build_semantics(self, sem: CommandSemantics) -> None:
+        sem.define("echo", ArgSpec("text", ArgType.STRING))
+        sem.define("slowEcho", ArgSpec("text", ArgType.STRING), ArgSpec("delay", ArgType.NUMBER))
+        sem.define("boom")
+        sem.define("onEchoSeen", ArgSpec("source", ArgType.STRING, required=False),
+                   ArgSpec("trigger", ArgType.STRING, required=False),
+                   ArgSpec("principal", ArgType.STRING, required=False),
+                   ArgSpec("args", ArgType.STRING, required=False))
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.seen_notifications = []
+
+    def cmd_echo(self, request: Request) -> dict:
+        return {"text": request.command.str("text"), "by": self.name}
+
+    def cmd_slowEcho(self, request: Request):
+        yield self.ctx.sim.timeout(request.command.float("delay"))
+        return {"text": request.command.str("text")}
+
+    def cmd_boom(self, request: Request):
+        raise ServiceError("intentional failure")
+
+    def cmd_onEchoSeen(self, request: Request) -> dict:
+        self.seen_notifications.append(request.command.args)
+        return {}
+
+
+class AceFixture:
+    """A booted minimal environment."""
+
+    def __init__(self, seed=0, lease_duration=5.0):
+        self.sim = Simulator()
+        self.rng = RngRegistry(seed)
+        self.net = Network(self.sim, self.rng)
+        self.ctx = DaemonContext(
+            sim=self.sim, net=self.net, rng=self.rng, lease_duration=lease_duration
+        )
+        self.infra_host = self.net.make_host("infra", room="machineroom")
+        self.ctx.default_bootstrap("infra")
+        self.asd = ServiceDirectoryDaemon(
+            self.ctx, "asd", self.infra_host, port=WellKnownPorts.ASD
+        )
+        self.roomdb = RoomDatabaseDaemon(
+            self.ctx, "roomdb", self.infra_host, port=WellKnownPorts.ROOM_DB
+        )
+        self.netlogger = NetworkLoggerDaemon(
+            self.ctx, "netlogger", self.infra_host, port=WellKnownPorts.NET_LOGGER
+        )
+        self.daemons = [self.asd, self.roomdb, self.netlogger]
+
+    def boot(self, until=1.0):
+        for daemon in self.daemons:
+            daemon.start()
+        self.sim.run(until=until)
+        return self
+
+    def add_daemon(self, daemon):
+        self.daemons.append(daemon)
+        return daemon
+
+    def client(self, host=None, principal="tester"):
+        return ServiceClient(self.ctx, host or self.infra_host, principal=principal)
+
+    def run(self, gen, timeout=60.0):
+        return self.sim.run_process(gen, timeout=timeout)
+
+
+@pytest.fixture
+def ace():
+    return AceFixture().boot()
+
+
+@pytest.fixture
+def ace_with_echo(ace):
+    host = ace.net.make_host("bar", room="hawk")
+    echo = EchoDaemon(ace.ctx, "echo1", host, room="hawk")
+    ace.add_daemon(echo)
+    echo.start()
+    ace.sim.run(until=ace.sim.now + 1.0)
+    return ace, echo

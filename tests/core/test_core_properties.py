@@ -1,0 +1,101 @@
+"""Property-based tests for lease tables and notification tables."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.leases import LeaseTable
+from repro.core.notifications import NotificationEntry, NotificationTable
+from repro.net import Address
+
+holders = st.from_regex(r"svc[0-9]{1,3}", fullmatch=True)
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["grant", "renew", "release", "tick"]), holders),
+        max_size=60,
+    ),
+    st.floats(min_value=0.5, max_value=20.0),
+)
+@settings(max_examples=150, deadline=None)
+def test_lease_table_invariants(ops, duration):
+    """Model-check the lease table against a reference dict of expiries."""
+    table = LeaseTable(duration)
+    model = {}
+    now = 0.0
+    for op, holder in ops:
+        if op == "tick":
+            now += duration / 3
+            table.expire(now)
+            model = {h: e for h, e in model.items() if e > now}
+        elif op == "grant":
+            table.grant(holder, now)
+            model[holder] = now + duration
+        elif op == "renew":
+            lease = table.renew(holder, now)
+            if holder in model and model[holder] > now:
+                assert lease is not None
+                model[holder] = now + duration
+            else:
+                assert lease is None
+        elif op == "release":
+            released = table.release(holder)
+            assert released == (holder in model)
+            model.pop(holder, None)
+    assert set(table.holders(now)) == {h for h, e in model.items() if e > now}
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["add", "remove", "remove_listener"]),
+            st.sampled_from(["cmdA", "cmdB", "cmdC"]),
+            st.sampled_from(["l1", "l2", "l3"]),
+            st.sampled_from(["cb1", "cb2"]),
+        ),
+        max_size=50,
+    )
+)
+@settings(max_examples=150, deadline=None)
+def test_notification_table_matches_set_model(ops):
+    table = NotificationTable()
+    model = set()
+    for op, cmd, listener, callback in ops:
+        entry = NotificationEntry(cmd, listener, Address("h", 1), callback)
+        if op == "add":
+            added = table.add(entry)
+            assert added == (entry not in model)
+            model.add(entry)
+        elif op == "remove":
+            removed = table.remove(cmd, listener, callback)
+            expected = {e for e in model
+                        if e.command == cmd and e.listener == listener
+                        and e.callback == callback}
+            assert removed == len(expected)
+            model -= expected
+        else:
+            removed = table.remove_listener(listener)
+            expected = {e for e in model if e.listener == listener}
+            assert removed == len(expected)
+            model -= expected
+    assert set(table.entries()) == model
+    assert len(table) == len(model)
+
+
+@given(st.lists(st.tuples(st.floats(0, 100), st.floats(0.1, 10)), max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_lease_expiry_is_monotone(grants):
+    """Once expired, a lease never reappears without a fresh grant."""
+    table = LeaseTable(5.0)
+    now = 0.0
+    for offset, _ in grants:
+        table.grant(f"svc{offset}", now + offset)
+    horizon = 200.0
+    alive_prev = None
+    t = 0.0
+    while t < horizon:
+        table.expire(t)
+        alive = set(table.holders(t))
+        if alive_prev is not None:
+            assert alive <= alive_prev  # no resurrection
+        alive_prev = alive
+        t += 3.0

@@ -1,0 +1,200 @@
+"""Integration-ish unit tests for the base daemon: dispatch, threads,
+startup sequence, and the built-in command set."""
+
+import pytest
+
+from repro.core import CallError
+from repro.lang import ACECmdLine
+
+from tests.core.conftest import EchoDaemon
+
+
+def test_echo_roundtrip(ace_with_echo):
+    ace, echo = ace_with_echo
+
+    def scenario():
+        client = ace.client()
+        reply = yield from client.call_once(echo.address, ACECmdLine("echo", text="hi"))
+        return reply
+
+    reply = ace.run(scenario())
+    assert reply["text"] == "hi"
+    assert reply["by"] == "echo1"
+
+
+def test_generator_handler_takes_sim_time(ace_with_echo):
+    ace, echo = ace_with_echo
+
+    def scenario():
+        client = ace.client()
+        t0 = ace.sim.now
+        yield from client.call_once(
+            echo.address, ACECmdLine("slowEcho", text="x", delay=2.0)
+        )
+        return ace.sim.now - t0
+
+    elapsed = ace.run(scenario())
+    assert elapsed >= 2.0
+
+
+def test_service_error_becomes_cmd_failed(ace_with_echo):
+    ace, echo = ace_with_echo
+
+    def scenario():
+        client = ace.client()
+        with pytest.raises(CallError, match="intentional failure"):
+            yield from client.call_once(echo.address, ACECmdLine("boom"))
+        # unchecked call returns the raw failure reply
+        conn = yield from client.connect(echo.address)
+        reply = yield from conn.call(ACECmdLine("boom"), check=False)
+        conn.close()
+        return reply
+
+    reply = ace.run(scenario())
+    assert reply.name == "cmdFailed"
+    assert reply["cmd"] == "boom"
+
+
+def test_unknown_command_rejected_by_semantics(ace_with_echo):
+    ace, echo = ace_with_echo
+
+    def scenario():
+        client = ace.client()
+        with pytest.raises(CallError, match="unknown command"):
+            yield from client.call_once(echo.address, ACECmdLine("fabricated"))
+
+    ace.run(scenario())
+
+
+def test_malformed_string_gets_parse_failure(ace_with_echo):
+    ace, echo = ace_with_echo
+
+    def scenario():
+        client = ace.client()
+        conn = yield from client.connect(echo.address)
+        yield from conn.channel.send("this is ; not a command =")
+        reply_text = yield from conn.channel.recv()
+        conn.close()
+        return reply_text
+
+    reply_text = ace.run(scenario())
+    assert "cmdFailed" in reply_text
+
+
+def test_builtin_ping_listcommands_getinfo(ace_with_echo):
+    ace, echo = ace_with_echo
+
+    def scenario():
+        client = ace.client()
+        conn = yield from client.connect(echo.address)
+        pong = yield from conn.call(ACECmdLine("ping"))
+        cmds = yield from conn.call(ACECmdLine("listCommands"))
+        info = yield from conn.call(ACECmdLine("getInfo"))
+        conn.close()
+        return pong, cmds, info
+
+    pong, cmds, info = ace.run(scenario())
+    assert pong.name == "cmdOk"
+    assert "echo" in cmds["commands"]
+    assert "addNotification" in cmds["commands"]
+    assert info["name"] == "echo1"
+    assert info["cls"] == "ACEService/Echo"
+    assert info["room"] == "hawk"
+
+
+def test_class_path_reflects_hierarchy():
+    class Sub(EchoDaemon):
+        service_type = "SubEcho"
+
+    assert Sub.class_path() == "ACEService/Echo/SubEcho"
+    assert EchoDaemon.class_path() == "ACEService/Echo"
+
+
+def test_startup_sequence_trace_order(ace_with_echo):
+    """Fig. 9: launch → RoomDB → ASD → NetLogger → ready."""
+    ace, echo = ace_with_echo
+    kinds = [
+        r.kind
+        for r in ace.ctx.trace.records
+        if r.source == "echo1"
+        and r.kind in ("daemon-launch", "roomdb-registered", "asd-registered",
+                       "netlogger-logged", "daemon-ready")
+    ]
+    assert kinds == [
+        "daemon-launch",
+        "roomdb-registered",
+        "asd-registered",
+        "netlogger-logged",
+        "daemon-ready",
+    ]
+
+
+def test_startup_registers_room_and_log(ace_with_echo):
+    ace, echo = ace_with_echo
+    assert "echo1" in ace.roomdb.rooms["hawk"].services
+    assert any(
+        e.source == "echo1" and e.event == "service_started" for e in ace.netlogger.entries
+    )
+    assert "echo1" in ace.asd.records
+
+
+def test_concurrent_clients_both_served(ace_with_echo):
+    ace, echo = ace_with_echo
+    results = []
+
+    def one_client(tag):
+        client = ace.client(principal=tag)
+        reply = yield from client.call_once(echo.address, ACECmdLine("echo", text=tag))
+        results.append(reply["text"])
+
+    ace.sim.process(one_client("a"))
+    ace.sim.process(one_client("b"))
+    ace.sim.run(until=ace.sim.now + 5.0)
+    assert sorted(results) == ["a", "b"]
+
+
+def test_control_thread_serializes_commands(ace_with_echo):
+    """Two slow commands from two connections execute back-to-back, not
+    in parallel: the control thread is single (§2.1.1)."""
+    ace, echo = ace_with_echo
+    finish = []
+
+    def one(tag):
+        client = ace.client(principal=tag)
+        yield from client.call_once(echo.address, ACECmdLine("slowEcho", text=tag, delay=1.0))
+        finish.append(ace.sim.now)
+
+    ace.sim.process(one("a"))
+    ace.sim.process(one("b"))
+    ace.sim.run(until=ace.sim.now + 10.0)
+    assert len(finish) == 2
+    assert abs(finish[1] - finish[0]) >= 1.0
+
+
+def test_stop_deregisters_and_closes(ace_with_echo):
+    ace, echo = ace_with_echo
+    echo.stop()
+    ace.sim.run(until=ace.sim.now + 1.0)
+    assert "echo1" not in ace.asd.records
+    assert not echo.running
+
+    def scenario():
+        client = ace.client()
+        from repro.net import ConnectionRefused
+
+        with pytest.raises(ConnectionRefused):
+            yield from client.connect(echo.address)
+
+    ace.run(scenario())
+
+
+def test_commands_served_counter(ace_with_echo):
+    ace, echo = ace_with_echo
+    before = echo.commands_served
+
+    def scenario():
+        client = ace.client()
+        yield from client.call_once(echo.address, ACECmdLine("echo", text="x"))
+
+    ace.run(scenario())
+    assert echo.commands_served == before + 1

@@ -1,0 +1,204 @@
+"""Unit tests for NotificationTable + end-to-end notification delivery."""
+
+from repro.core.notifications import NotificationEntry, NotificationTable
+from repro.lang import ACECmdLine
+from repro.net import Address
+
+from tests.core.conftest import EchoDaemon
+
+
+def entry(cmd="echo", listener="l1", host="h", port=1, callback="cb"):
+    return NotificationEntry(cmd, listener, Address(host, port), callback)
+
+
+# -- unit ---------------------------------------------------------------------
+
+def test_add_and_listeners():
+    table = NotificationTable()
+    assert table.add(entry()) is True
+    assert table.add(entry()) is False  # duplicate
+    assert len(table.listeners("echo")) == 1
+    assert table.listeners("other") == []
+
+
+def test_remove_specific_callback():
+    table = NotificationTable()
+    table.add(entry(callback="cb1"))
+    table.add(entry(callback="cb2"))
+    assert table.remove("echo", "l1", "cb1") == 1
+    assert [e.callback for e in table.listeners("echo")] == ["cb2"]
+
+
+def test_remove_any_callback():
+    table = NotificationTable()
+    table.add(entry(callback="cb1"))
+    table.add(entry(callback="cb2"))
+    assert table.remove("echo", "l1") == 2
+    assert table.watched_commands() == []
+
+
+def test_remove_listener_everywhere():
+    table = NotificationTable()
+    table.add(entry(cmd="a"))
+    table.add(entry(cmd="b"))
+    table.add(entry(cmd="b", listener="other"))
+    assert table.remove_listener("l1") == 2
+    assert len(table) == 1
+
+
+def test_entries_iteration_sorted():
+    table = NotificationTable()
+    table.add(entry(cmd="z"))
+    table.add(entry(cmd="a"))
+    assert [e.command for e in table.entries()] == ["a", "z"]
+
+
+# -- integration (Fig. 8) -------------------------------------------------------
+
+def make_listener(ace, name="listener"):
+    host = ace.net.make_host(f"host-{name}", room="hawk")
+    daemon = EchoDaemon(ace.ctx, name, host, room="hawk")
+    ace.add_daemon(daemon)
+    daemon.start()
+    ace.sim.run(until=ace.sim.now + 1.0)
+    return daemon
+
+
+def test_notification_delivered_on_command(ace_with_echo):
+    ace, echo = ace_with_echo
+    listener = make_listener(ace)
+
+    def scenario():
+        client = ace.client()
+        # Step: listener asks echo1 to notify it when "echo" executes.
+        yield from client.call_once(
+            echo.address,
+            ACECmdLine(
+                "addNotification",
+                cmd="echo",
+                listener=listener.name,
+                host=listener.host.name,
+                port=listener.port,
+                callback="onEchoSeen",
+            ),
+        )
+        yield from client.call_once(echo.address, ACECmdLine("echo", text="trigger me"))
+
+    ace.run(scenario())
+    ace.sim.run(until=ace.sim.now + 2.0)
+    assert len(listener.seen_notifications) == 1
+    note = listener.seen_notifications[0]
+    assert note["source"] == "echo1"
+    assert note["trigger"] == "echo"
+    assert "trigger me" in note["args"]
+
+
+def test_failed_command_does_not_notify(ace_with_echo):
+    ace, echo = ace_with_echo
+    listener = make_listener(ace)
+
+    def scenario():
+        client = ace.client()
+        yield from client.call_once(
+            echo.address,
+            ACECmdLine(
+                "addNotification", cmd="boom", listener=listener.name,
+                host=listener.host.name, port=listener.port, callback="onEchoSeen",
+            ),
+        )
+        conn = yield from client.connect(echo.address)
+        yield from conn.call(ACECmdLine("boom"), check=False)
+        conn.close()
+
+    ace.run(scenario())
+    ace.sim.run(until=ace.sim.now + 2.0)
+    assert listener.seen_notifications == []
+
+
+def test_remove_notification_stops_delivery(ace_with_echo):
+    ace, echo = ace_with_echo
+    listener = make_listener(ace)
+
+    def scenario():
+        client = ace.client()
+        add = ACECmdLine(
+            "addNotification", cmd="echo", listener=listener.name,
+            host=listener.host.name, port=listener.port, callback="onEchoSeen",
+        )
+        yield from client.call_once(echo.address, add)
+        yield from client.call_once(
+            echo.address,
+            ACECmdLine("removeNotification", cmd="echo", listener=listener.name),
+        )
+        yield from client.call_once(echo.address, ACECmdLine("echo", text="quiet"))
+
+    ace.run(scenario())
+    ace.sim.run(until=ace.sim.now + 2.0)
+    assert listener.seen_notifications == []
+
+
+def test_watch_unknown_command_rejected(ace_with_echo):
+    ace, echo = ace_with_echo
+
+    def scenario():
+        from repro.core import CallError
+        import pytest
+
+        client = ace.client()
+        with pytest.raises(CallError, match="unknown command"):
+            yield from client.call_once(
+                echo.address,
+                ACECmdLine(
+                    "addNotification", cmd="nonexistent", listener="x",
+                    host="h", port=1, callback="cb",
+                ),
+            )
+
+    ace.run(scenario())
+
+
+def test_multiple_listeners_all_notified(ace_with_echo):
+    ace, echo = ace_with_echo
+    listeners = [make_listener(ace, f"listener{i}") for i in range(3)]
+
+    def scenario():
+        client = ace.client()
+        for listener in listeners:
+            yield from client.call_once(
+                echo.address,
+                ACECmdLine(
+                    "addNotification", cmd="echo", listener=listener.name,
+                    host=listener.host.name, port=listener.port, callback="onEchoSeen",
+                ),
+            )
+        yield from client.call_once(echo.address, ACECmdLine("echo", text="fanout"))
+
+    ace.run(scenario())
+    ace.sim.run(until=ace.sim.now + 2.0)
+    assert all(len(l.seen_notifications) == 1 for l in listeners)
+
+
+def test_dead_listener_purged_after_failure(ace_with_echo):
+    ace, echo = ace_with_echo
+    listener = make_listener(ace)
+
+    def scenario():
+        client = ace.client()
+        yield from client.call_once(
+            echo.address,
+            ACECmdLine(
+                "addNotification", cmd="echo", listener=listener.name,
+                host=listener.host.name, port=listener.port, callback="onEchoSeen",
+            ),
+        )
+
+    ace.run(scenario())
+    ace.net.crash_host(listener.host.name)
+
+    def trigger():
+        client = ace.client()
+        yield from client.call_once(echo.address, ACECmdLine("echo", text="to the void"))
+
+    ace.run(trigger())
+    ace.sim.run(until=ace.sim.now + 5.0)
+    assert len(echo.notifications) == 0  # purged on delivery failure

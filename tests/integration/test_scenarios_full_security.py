@@ -1,0 +1,60 @@
+"""The Chapter 7 scenarios under full SSL+KeyNote security.
+
+The paper's vision is that the *same* environment runs secured; these
+tests replay Scenarios 1–3 and 5 with every hop encrypted and authorized.
+"""
+
+import pytest
+
+from repro.core import SecurityMode
+from repro.env.scenarios import (
+    scenario_1_new_user,
+    scenario_2_identification,
+    scenario_3_workspace_display,
+    scenario_5_devices,
+    standard_environment,
+)
+
+
+@pytest.fixture(scope="module")
+def secure_story():
+    env = standard_environment(seed=240, security=SecurityMode.SSL_KEYNOTE)
+    env.boot(settle=4.0)
+    results = {}
+    results["s1"] = env.run(scenario_1_new_user(env), timeout=600.0)
+    results["s2"] = env.run(scenario_2_identification(env), timeout=600.0)
+    results["s3"] = env.run(scenario_3_workspace_display(env), timeout=600.0)
+    results["s5"] = env.run(scenario_5_devices(env), timeout=600.0)
+    return env, results
+
+
+def test_secure_scenario1(secure_story):
+    env, results = secure_story
+    assert results["s1"]["workspace"] == "john-default"
+
+
+def test_secure_scenario2(secure_story):
+    env, results = secure_story
+    assert results["s2"]["matched"] is True
+    assert results["s2"]["aud_location"] == "hawk"
+
+
+def test_secure_scenario3(secure_story):
+    env, results = secure_story
+    assert results["s3"]["displayed"] is True
+    assert results["s3"]["display"] == "podium"
+
+
+def test_secure_scenario5(secure_story):
+    env, results = secure_story
+    assert results["s5"]["projector_state"]["source"] == "workspace"
+    assert results["s5"]["camera_state"]["powered"] == 1
+
+
+def test_security_cost_is_visible(secure_story):
+    """The secured story is measurably slower than the plaintext one —
+    the E5 overhead showing up end to end."""
+    env, results = secure_story
+    plain = standard_environment(seed=240).boot()
+    p1 = plain.run(scenario_1_new_user(plain))
+    assert results["s1"]["t_total"] > p1["t_total"]

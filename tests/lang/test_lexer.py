@@ -1,0 +1,80 @@
+"""Unit tests for the command-language tokenizer."""
+
+import pytest
+
+from repro.lang import ParseError, TokenKind, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)][:-1]  # drop END
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)][:-1]
+
+
+def test_simple_command():
+    assert kinds("turnOn;") == [TokenKind.WORD, TokenKind.SEMICOLON]
+
+
+def test_integer_vs_float():
+    assert kinds("1") == [TokenKind.INTEGER]
+    assert kinds("-3") == [TokenKind.INTEGER]
+    assert kinds("1.5") == [TokenKind.FLOAT]
+    assert kinds("-0.25") == [TokenKind.FLOAT]
+    assert kinds("1e3") == [TokenKind.FLOAT]
+    assert kinds("2.5e-2") == [TokenKind.FLOAT]
+
+
+def test_word_with_digits_and_underscores():
+    assert kinds("cam_2") == [TokenKind.WORD]
+    assert texts("3com") == ["3com"]
+    assert kinds("3com") == [TokenKind.WORD]
+
+
+def test_quoted_string():
+    toks = tokenize('"hello world";')
+    assert toks[0].kind is TokenKind.STRING
+    assert toks[0].text == '"hello world"'
+
+
+def test_string_with_escapes():
+    toks = tokenize(r'"say \"hi\"";')
+    assert toks[0].kind is TokenKind.STRING
+
+
+def test_structural_tokens():
+    assert kinds("x={1,2}") == [
+        TokenKind.WORD,
+        TokenKind.EQUALS,
+        TokenKind.LBRACE,
+        TokenKind.INTEGER,
+        TokenKind.COMMA,
+        TokenKind.INTEGER,
+        TokenKind.RBRACE,
+    ]
+
+
+def test_whitespace_ignored():
+    assert kinds("a   =  1") == [TokenKind.WORD, TokenKind.EQUALS, TokenKind.INTEGER]
+
+
+def test_positions_recorded():
+    toks = tokenize("ab cd")
+    assert toks[0].position == 0
+    assert toks[1].position == 3
+
+
+def test_unexpected_character():
+    with pytest.raises(ParseError):
+        tokenize("cmd @bad;")
+
+
+def test_unterminated_string():
+    with pytest.raises(ParseError):
+        tokenize('"unterminated')
+
+
+def test_end_token_always_last():
+    assert tokenize("")[-1].kind is TokenKind.END
+    assert tokenize("x")[-1].kind is TokenKind.END

@@ -1,0 +1,164 @@
+"""Unit tests for command parsing and the ACECmdLine object."""
+
+import pytest
+
+from repro.lang import ACECmdLine, ParseError, SemanticError, parse_command
+from repro.lang.command import error_reply, is_error, is_ok, ok_reply
+
+
+def test_parse_no_args():
+    cmd = parse_command("getStatus;")
+    assert cmd.name == "getStatus"
+    assert cmd.args == {}
+
+
+def test_parse_scalar_args():
+    cmd = parse_command('setPosition x=1.5 y=-2 name=podium label="front wall";')
+    assert cmd["x"] == 1.5
+    assert cmd["y"] == -2
+    assert isinstance(cmd["y"], int)
+    assert cmd["name"] == "podium"
+    assert cmd["label"] == "front wall"
+
+
+def test_parse_comma_separated_args():
+    cmd = parse_command("move x=1,y=2;")
+    assert cmd.args == {"x": 1, "y": 2}
+
+
+def test_parse_vector():
+    cmd = parse_command("calibrate points={1,2,3};")
+    assert cmd["points"] == (1, 2, 3)
+
+
+def test_parse_float_vector():
+    cmd = parse_command("path w={1.0,2.5};")
+    assert cmd["w"] == (1.0, 2.5)
+    assert all(isinstance(v, float) for v in cmd["w"])
+
+
+def test_parse_string_vector():
+    cmd = parse_command('rooms list={hawk,"big lab"};')
+    assert cmd["list"] == ("hawk", "big lab")
+
+
+def test_parse_array():
+    cmd = parse_command("matrix m={{1,2},{3,4}};")
+    assert cmd["m"] == ((1, 2), (3, 4))
+
+
+def test_empty_vector_rejected():
+    with pytest.raises(ParseError):
+        parse_command("bad v={};")
+
+
+def test_mixed_vector_rejected():
+    with pytest.raises(ParseError):
+        parse_command("bad v={1,x};")
+
+
+def test_array_mixing_vector_and_scalar_rejected():
+    with pytest.raises(ParseError):
+        parse_command("bad v={{1,2},3};")
+
+
+def test_missing_semicolon():
+    with pytest.raises(ParseError, match="';'"):
+        parse_command("cmd x=1")
+
+
+def test_trailing_garbage():
+    with pytest.raises(ParseError, match="trailing"):
+        parse_command("cmd; extra")
+
+
+def test_duplicate_argument():
+    with pytest.raises(ParseError, match="duplicate"):
+        parse_command("cmd x=1 x=2;")
+
+
+def test_missing_equals():
+    with pytest.raises(ParseError):
+        parse_command("cmd x 1;")
+
+
+def test_missing_command_name():
+    with pytest.raises(ParseError):
+        parse_command("=1;")
+
+
+def test_roundtrip_exact_copy():
+    original = ACECmdLine(
+        "setParams",
+        x=1.0,
+        n=-3,
+        mode="auto",
+        label="pan & tilt",
+        vec=(1, 2, 3),
+        arr=((1.5, 2.5), (3.5, 4.5)),
+    )
+    assert parse_command(original.to_string()) == original
+
+
+def test_int_float_distinction_survives_roundtrip():
+    cmd = ACECmdLine("c", a=1, b=1.0)
+    parsed = parse_command(cmd.to_string())
+    assert isinstance(parsed["a"], int)
+    assert isinstance(parsed["b"], float)
+    assert parsed == cmd
+    assert parsed != ACECmdLine("c", a=1.0, b=1.0)
+
+
+def test_cmdline_accessors():
+    cmd = ACECmdLine("c", n=5, f=2.5, s="word", v=(1, 2))
+    assert cmd.int("n") == 5
+    assert cmd.float("f") == 2.5
+    assert cmd.float("n") == 5.0  # int widens
+    assert cmd.str("s") == "word"
+    assert cmd.vector("v") == (1, 2)
+    assert cmd.get("missing") is None
+    assert cmd.int("missing", 7) == 7
+    with pytest.raises(SemanticError):
+        cmd.int("s")
+    with pytest.raises(SemanticError):
+        cmd.require("nope")
+
+
+def test_cmdline_rejects_bad_names():
+    with pytest.raises(Exception):
+        ACECmdLine("bad name")
+    with pytest.raises(Exception):
+        ACECmdLine("ok", **{"bad-arg": 1})
+
+
+def test_cmdline_rejects_bools():
+    with pytest.raises(Exception):
+        ACECmdLine("c", flag=True)
+
+
+def test_with_args_creates_copy():
+    cmd = ACECmdLine("c", a=1)
+    cmd2 = cmd.with_args(b=2)
+    assert "b" not in cmd
+    assert cmd2["a"] == 1 and cmd2["b"] == 2
+
+
+def test_wire_size_matches_encoding():
+    cmd = ACECmdLine("c", s="héllo")
+    assert cmd.wire_size == len(cmd.to_string().encode("utf-8"))
+
+
+def test_reply_helpers():
+    req = ACECmdLine("doThing", x=1)
+    good = ok_reply(req, result=42)
+    bad = error_reply(req, "no permission")
+    assert is_ok(good) and not is_error(good)
+    assert is_error(bad) and not is_ok(bad)
+    assert good["cmd"] == "doThing"
+    assert bad["reason"] == "no permission"
+
+
+def test_commands_hashable():
+    a = ACECmdLine("c", x=1)
+    b = parse_command("c x=1;")
+    assert len({a, b}) == 1

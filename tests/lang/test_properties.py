@@ -1,0 +1,112 @@
+"""Property-based tests: the command language round-trips exactly.
+
+The paper's Fig. 5 claims the receiving daemon reconstructs "an exact copy
+of the ACECmdLine object"; hypothesis hunts for counterexamples.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import ACECmdLine, parse_command
+from repro.lang.values import format_value, normalize_value
+
+names = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,15}", fullmatch=True)
+
+ints = st.integers(min_value=-(2**31), max_value=2**31)
+floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+words = st.from_regex(r"[A-Za-z0-9_]{1,20}", fullmatch=True)
+printable = st.text(
+    alphabet=st.characters(
+        codec="utf-8",
+        categories=("L", "N", "P", "S", "Zs"),
+        exclude_characters="\n\r\t",
+    ),
+    min_size=0,
+    max_size=30,
+)
+
+scalars = st.one_of(ints, floats, words, printable)
+
+
+def homogeneous_vector(element):
+    return st.lists(element, min_size=1, max_size=6).map(tuple)
+
+
+vectors = st.one_of(
+    homogeneous_vector(ints),
+    homogeneous_vector(floats),
+    homogeneous_vector(words),
+    homogeneous_vector(printable),
+)
+
+arrays = st.one_of(
+    st.lists(homogeneous_vector(ints), min_size=1, max_size=4).map(tuple),
+    st.lists(homogeneous_vector(floats), min_size=1, max_size=4).map(tuple),
+    st.lists(homogeneous_vector(printable), min_size=1, max_size=3).map(tuple),
+)
+
+values = st.one_of(scalars, vectors, arrays)
+
+
+@st.composite
+def commands(draw):
+    name = draw(names)
+    arg_names = draw(st.lists(names, max_size=5, unique=True))
+    return ACECmdLine(name, {a: draw(values) for a in arg_names})
+
+
+@given(commands())
+@settings(max_examples=300, deadline=None)
+def test_roundtrip_is_identity(cmd):
+    assert parse_command(cmd.to_string()) == cmd
+
+
+@given(commands())
+@settings(max_examples=100, deadline=None)
+def test_serialization_is_stable(cmd):
+    once = cmd.to_string()
+    again = parse_command(once).to_string()
+    assert once == again
+
+
+@given(values)
+@settings(max_examples=300, deadline=None)
+def test_value_format_parse_roundtrip(value):
+    normalized = normalize_value(value)
+    cmd = ACECmdLine("probe", v=normalized)
+    parsed = parse_command(cmd.to_string())
+    assert parsed["v"] == normalized
+    assert type(parsed["v"]) is type(normalized)
+
+
+@given(floats)
+@settings(max_examples=200, deadline=None)
+def test_float_values_roundtrip_bit_exact(x):
+    parsed = parse_command(ACECmdLine("c", v=x).to_string())["v"]
+    assert isinstance(parsed, float)
+    assert parsed == x or (math.isnan(x) and math.isnan(parsed))
+
+
+@given(st.integers())
+@settings(max_examples=100, deadline=None)
+def test_arbitrary_precision_integers(n):
+    assert parse_command(ACECmdLine("c", v=n).to_string())["v"] == n
+
+
+@given(commands())
+@settings(max_examples=100, deadline=None)
+def test_wire_size_positive_and_consistent(cmd):
+    assert cmd.wire_size == len(cmd.to_string().encode("utf-8")) > 0
+
+
+@given(st.text(max_size=40))
+@settings(max_examples=200, deadline=None)
+def test_parser_never_crashes_unexpectedly(text):
+    """Arbitrary garbage either parses or raises a language error."""
+    from repro.lang import ACELanguageError
+
+    try:
+        parse_command(text)
+    except ACELanguageError:
+        pass

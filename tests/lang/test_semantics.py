@@ -1,0 +1,128 @@
+"""Unit tests for command semantics and validation."""
+
+import pytest
+
+from repro.lang import (
+    ACECmdLine,
+    ArgSpec,
+    ArgType,
+    CommandParser,
+    CommandSemantics,
+    SemanticError,
+    infer_type,
+)
+from repro.lang.semantics import reply_semantics
+
+
+def ptz_semantics():
+    sem = CommandSemantics()
+    sem.define(
+        "setPosition",
+        ArgSpec("x", ArgType.FLOAT),
+        ArgSpec("y", ArgType.FLOAT),
+        ArgSpec("z", ArgType.FLOAT, required=False, default=0.0),
+        description="aim the camera at a 3D point",
+    )
+    sem.define("power", ArgSpec("state", ArgType.WORD))
+    return sem
+
+
+def test_infer_type():
+    assert infer_type(3) is ArgType.INTEGER
+    assert infer_type(3.0) is ArgType.FLOAT
+    assert infer_type("word_1") is ArgType.WORD
+    assert infer_type("two words") is ArgType.STRING
+    assert infer_type((1, 2)) is ArgType.VECTOR
+    assert infer_type(((1,), (2,))) is ArgType.ARRAY
+
+
+def test_validate_accepts_good_command():
+    sem = ptz_semantics()
+    cmd = ACECmdLine("setPosition", x=1.0, y=2.0)
+    validated = sem.validate(cmd)
+    assert validated["z"] == 0.0  # default filled
+
+
+def test_validate_rejects_unknown_command():
+    sem = ptz_semantics()
+    with pytest.raises(SemanticError, match="unknown command"):
+        sem.validate(ACECmdLine("selfDestruct"))
+
+
+def test_validate_rejects_missing_required():
+    sem = ptz_semantics()
+    with pytest.raises(SemanticError, match="missing required"):
+        sem.validate(ACECmdLine("setPosition", x=1.0))
+
+
+def test_validate_rejects_wrong_type():
+    sem = ptz_semantics()
+    with pytest.raises(SemanticError, match="expects float"):
+        sem.validate(ACECmdLine("setPosition", x="left", y=2.0))
+
+
+def test_validate_int_widens_to_float():
+    sem = ptz_semantics()
+    sem.validate(ACECmdLine("setPosition", x=1, y=2))
+
+
+def test_validate_rejects_unknown_args_in_strict_mode():
+    sem = ptz_semantics()
+    with pytest.raises(SemanticError, match="unknown argument"):
+        sem.validate(ACECmdLine("power", state="on", extra=1))
+
+
+def test_non_strict_passes_unknowns():
+    sem = CommandSemantics(strict=False)
+    sem.define("known")
+    sem.validate(ACECmdLine("unknownCmd", anything="goes"))
+
+
+def test_inheritance_extends_vocabulary():
+    base = ptz_semantics()
+    child = base.extend()
+    child.define("zoom", ArgSpec("factor", ArgType.NUMBER))
+    # Child knows both its own and the parent's commands.
+    child.validate(ACECmdLine("zoom", factor=2))
+    child.validate(ACECmdLine("setPosition", x=0.0, y=0.0))
+    # Parent does not learn the child's commands (Fig. 6 directionality).
+    with pytest.raises(SemanticError):
+        base.validate(ACECmdLine("zoom", factor=2))
+    assert "setPosition" in child
+    assert "zoom" in child.commands()
+
+
+def test_redefinition_rejected():
+    sem = ptz_semantics()
+    with pytest.raises(SemanticError, match="already defined"):
+        sem.define("power")
+
+
+def test_number_type_accepts_both():
+    sem = CommandSemantics()
+    sem.define("speed", ArgSpec("v", ArgType.NUMBER))
+    sem.validate(ACECmdLine("speed", v=3))
+    sem.validate(ACECmdLine("speed", v=3.5))
+    with pytest.raises(SemanticError):
+        sem.validate(ACECmdLine("speed", v="fast"))
+
+
+def test_string_type_accepts_words():
+    sem = CommandSemantics()
+    sem.define("label", ArgSpec("text", ArgType.STRING))
+    sem.validate(ACECmdLine("label", text="word"))
+    sem.validate(ACECmdLine("label", text="two words"))
+
+
+def test_parser_bound_to_semantics():
+    parser = CommandParser(ptz_semantics())
+    cmd = parser.parse("setPosition x=1.0 y=2.0;")
+    assert cmd["z"] == 0.0
+    with pytest.raises(SemanticError):
+        parser.parse("badCmd;")
+
+
+def test_reply_semantics_standard_vocabulary():
+    sem = reply_semantics()
+    sem.validate(ACECmdLine("cmdOk", cmd="setPosition"))
+    sem.validate(ACECmdLine("cmdFailed", cmd="setPosition", reason="denied"))

@@ -1,0 +1,164 @@
+"""Unit tests for simulated hosts."""
+
+import pytest
+
+from repro.net import Host, HostDownError
+from repro.sim import Simulator
+
+
+def make_host(sim, **kw):
+    kw.setdefault("bogomips", 800.0)
+    return Host(sim, "bar", **kw)
+
+
+def test_execute_duration_scales_with_bogomips():
+    sim = Simulator()
+    fast = Host(sim, "fast", bogomips=800.0)
+    slow = Host(sim, "slow", bogomips=400.0)
+    done = {}
+
+    def work(host, tag):
+        yield from host.execute(800.0)  # 1 s on the fast host
+        done[tag] = sim.now
+
+    sim.process(work(fast, "fast"))
+    sim.process(work(slow, "slow"))
+    sim.run()
+    assert done["fast"] == pytest.approx(1.0)
+    assert done["slow"] == pytest.approx(2.0)
+
+
+def test_single_core_serializes_work():
+    sim = Simulator()
+    host = make_host(sim, cores=1)
+    done = []
+
+    def work(tag):
+        yield from host.execute(800.0)
+        done.append((tag, sim.now))
+
+    sim.process(work("a"))
+    sim.process(work("b"))
+    sim.run()
+    assert done == [("a", pytest.approx(1.0)), ("b", pytest.approx(2.0))]
+
+
+def test_two_cores_run_concurrently():
+    sim = Simulator()
+    host = make_host(sim, cores=2)
+    done = []
+
+    def work(tag):
+        yield from host.execute(800.0)
+        done.append((tag, sim.now))
+
+    sim.process(work("a"))
+    sim.process(work("b"))
+    sim.run()
+    assert [t for _, t in done] == [pytest.approx(1.0), pytest.approx(1.0)]
+
+
+def test_crash_interrupts_execution_queue():
+    sim = Simulator()
+    host = make_host(sim)
+    with pytest.raises(ValueError):
+        Host(sim, "bad", bogomips=0)
+    host.crash()
+    assert not host.up
+
+    def work():
+        yield from host.execute(100.0)
+
+    with pytest.raises(HostDownError):
+        sim.run_process(work())
+
+
+def test_crash_mid_execution_raises_on_completion():
+    sim = Simulator()
+    host = make_host(sim)
+    outcome = []
+
+    def work():
+        try:
+            yield from host.execute(8000.0)  # 10 s
+            outcome.append("done")
+        except HostDownError:
+            outcome.append(("crashed-at", sim.now))
+
+    def killer():
+        yield sim.timeout(2.0)
+        host.crash()
+
+    sim.process(work())
+    sim.process(killer())
+    sim.run()
+    assert outcome == [("crashed-at", 10.0)]
+
+
+def test_restart_resets_and_allows_work():
+    sim = Simulator()
+    host = make_host(sim)
+    host.crash()
+    host.restart()
+    assert host.up
+
+    def work():
+        yield from host.execute(800.0)
+        return sim.now
+
+    assert sim.run_process(work()) == pytest.approx(1.0)
+
+
+def test_utilization_tracks_busy_fraction():
+    sim = Simulator()
+    host = make_host(sim)
+
+    def work():
+        yield from host.execute(800.0)  # busy 1s
+        yield sim.timeout(3.0)          # idle 3s
+
+    sim.process(work())
+    sim.run()
+    assert host.utilization() == pytest.approx(0.25)
+
+
+def test_utilization_reset():
+    sim = Simulator()
+    host = make_host(sim)
+
+    def work():
+        yield from host.execute(800.0)
+
+    sim.process(work())
+    sim.run()
+    host.reset_utilization()
+
+    def idle():
+        yield sim.timeout(1.0)
+
+    sim.process(idle())
+    sim.run()
+    assert host.utilization() == pytest.approx(0.0)
+
+
+def test_run_queue_length():
+    sim = Simulator()
+    host = make_host(sim)
+
+    def work():
+        yield from host.execute(8000.0)
+
+    sim.process(work())
+    sim.process(work())
+    sim.process(work())
+    sim.run(until=1.0)
+    assert host.run_queue_length() == 2
+
+
+def test_epoch_bumps_on_crash():
+    sim = Simulator()
+    host = make_host(sim)
+    e0 = host.epoch
+    host.crash()
+    host.restart()
+    assert host.epoch == e0 + 1

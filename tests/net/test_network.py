@@ -1,0 +1,314 @@
+"""Unit tests for the network fabric: streams, datagrams, faults."""
+
+import pytest
+
+from repro.net import (
+    Address,
+    ConnectionClosed,
+    ConnectionRefused,
+    Network,
+    NetworkError,
+)
+from repro.sim import RngRegistry, Simulator
+
+
+def make_net(**kw):
+    sim = Simulator()
+    net = Network(sim, RngRegistry(1), **kw)
+    net.make_host("alpha", segment="east")
+    net.make_host("beta", segment="east")
+    net.make_host("gamma", segment="west")
+    return sim, net
+
+
+def server_echo(net, host_name, port, count=1):
+    """Accept one connection and echo `count` messages back."""
+    listener = net.listen(net.host(host_name), port)
+
+    def run():
+        conn = yield from listener.accept()
+        for _ in range(count):
+            msg = yield from conn.recv()
+            yield from conn.send(("echo", msg))
+        conn.close()
+
+    return run
+
+
+def test_connect_and_roundtrip():
+    sim, net = make_net()
+    sim.process(server_echo(net, "beta", 5000)())
+
+    def client():
+        conn = yield from net.connect(net.host("alpha"), Address("beta", 5000))
+        yield from conn.send("hello")
+        reply = yield from conn.recv()
+        return reply
+
+    assert sim.run_process(client()) == ("echo", "hello")
+
+
+def test_connect_refused_when_nothing_listening():
+    sim, net = make_net()
+
+    def client():
+        yield from net.connect(net.host("alpha"), Address("beta", 9999), timeout=0.1)
+
+    with pytest.raises(ConnectionRefused):
+        sim.run_process(client())
+
+
+def test_connect_refused_unknown_host():
+    sim, net = make_net()
+
+    def client():
+        yield from net.connect(net.host("alpha"), Address("nosuch", 5000), timeout=0.1)
+
+    with pytest.raises(ConnectionRefused):
+        sim.run_process(client())
+
+
+def test_messages_fifo_per_connection():
+    sim, net = make_net(jitter_frac=0.5)
+    listener = net.listen(net.host("beta"), 5000)
+    received = []
+
+    def server():
+        conn = yield from listener.accept()
+        for _ in range(20):
+            received.append((yield from conn.recv()))
+
+    def client():
+        conn = yield from net.connect(net.host("alpha"), Address("beta", 5000))
+        for i in range(20):
+            yield from conn.send(i)
+
+    sim.process(server())
+    sim.process(client())
+    sim.run()
+    assert received == list(range(20))
+
+
+def test_close_gives_peer_eof():
+    sim, net = make_net()
+    listener = net.listen(net.host("beta"), 5000)
+    outcome = []
+
+    def server():
+        conn = yield from listener.accept()
+        try:
+            yield from conn.recv()
+        except ConnectionClosed:
+            outcome.append("eof")
+
+    def client():
+        conn = yield from net.connect(net.host("alpha"), Address("beta", 5000))
+        conn.close()
+
+    sim.process(server())
+    sim.process(client())
+    sim.run()
+    assert outcome == ["eof"]
+
+
+def test_send_after_close_raises():
+    sim, net = make_net()
+    listener = net.listen(net.host("beta"), 5000)
+
+    def server():
+        yield from listener.accept()
+
+    def client():
+        conn = yield from net.connect(net.host("alpha"), Address("beta", 5000))
+        conn.close()
+        with pytest.raises(ConnectionClosed):
+            yield from conn.send("x")
+
+    sim.process(server())
+    sim.run_process(client())
+
+
+def test_duplicate_bind_rejected():
+    sim, net = make_net()
+    net.listen(net.host("beta"), 5000)
+    with pytest.raises(NetworkError):
+        net.listen(net.host("beta"), 5000)
+
+
+def test_latency_scopes_local_lan_backbone():
+    sim, net = make_net()
+    # local < lan < backbone ordering of delivery times
+    times = {}
+
+    def ping(src, dst, tag, port):
+        listener = net.listen(net.host(dst), port)
+
+        def server():
+            conn = yield from listener.accept()
+            yield from conn.recv()
+            times[tag] = sim.now
+
+        def client():
+            conn = yield from net.connect(net.host(src), Address(dst, port))
+            yield from conn.send("x")
+
+        sim.process(server())
+        sim.process(client())
+
+    ping("alpha", "alpha", "local", 6000)
+    ping("alpha", "beta", "lan", 6001)
+    ping("alpha", "gamma", "backbone", 6002)
+    sim.run()
+    assert times["local"] < times["lan"] < times["backbone"]
+
+
+def test_traffic_accounting_by_scope():
+    sim, net = make_net()
+    sim.process(server_echo(net, "gamma", 5000)())
+
+    def client():
+        conn = yield from net.connect(net.host("alpha"), Address("gamma", 5000))
+        yield from conn.send("x" * 100)
+        yield from conn.recv()
+
+    sim.run_process(client())
+    assert net.stats.bytes_backbone >= 100
+    assert net.stats.bytes_local == 0
+
+
+def test_host_crash_drops_inflight_and_closes_listeners():
+    sim, net = make_net()
+    listener = net.listen(net.host("beta"), 5000)
+    outcome = []
+
+    def server():
+        conn = yield from listener.accept()
+        try:
+            while True:
+                yield from conn.recv()
+        except ConnectionClosed:
+            outcome.append("server-closed")
+
+    def client():
+        conn = yield from net.connect(net.host("alpha"), Address("beta", 5000))
+        yield from conn.send("one")
+        yield sim.timeout(1.0)
+        net.crash_host("beta")
+        # Message to a dead host is silently dropped (no exception).
+        yield from conn.send("two")
+
+    sim.process(server())
+    sim.process(client())
+    sim.run()
+    assert not net.host("beta").up
+    assert listener.closed
+
+
+def test_connect_to_crashed_host_refused():
+    sim, net = make_net()
+    net.listen(net.host("beta"), 5000)
+    net.crash_host("beta")
+
+    def client():
+        yield from net.connect(net.host("alpha"), Address("beta", 5000), timeout=0.1)
+
+    with pytest.raises(ConnectionRefused):
+        sim.run_process(client())
+
+
+def test_partition_blocks_cross_group_traffic():
+    sim, net = make_net()
+    sim.process(server_echo(net, "gamma", 5000)())
+    net.set_partition([["alpha", "beta"], ["gamma"]])
+
+    def client():
+        yield from net.connect(net.host("alpha"), Address("gamma", 5000), timeout=0.1)
+
+    with pytest.raises(ConnectionRefused):
+        sim.run_process(client())
+    net.clear_partition()
+
+    def client2():
+        conn = yield from net.connect(net.host("alpha"), Address("gamma", 5000))
+        yield from conn.send("hi")
+        return (yield from conn.recv())
+
+    assert sim.run_process(client2()) == ("echo", "hi")
+
+
+def test_datagram_roundtrip():
+    sim, net = make_net()
+    a = net.bind_datagram(net.host("alpha"), 7000)
+    b = net.bind_datagram(net.host("beta"), 7000)
+
+    def sender():
+        yield from a.send(Address("beta", 7000), "ping")
+
+    def receiver():
+        source, payload = yield from b.recv()
+        return source, payload
+
+    sim.process(sender())
+    source, payload = sim.run_process(receiver())
+    assert payload == "ping"
+    assert source == Address("alpha", 7000)
+
+
+def test_datagram_loss():
+    sim, net = make_net(loss_rate=1.0)
+    a = net.bind_datagram(net.host("alpha"), 7000)
+    b = net.bind_datagram(net.host("beta"), 7000)
+
+    def sender():
+        yield from a.send(Address("beta", 7000), "ping")
+
+    sim.process(sender())
+    sim.run()
+    assert b.pending() == 0
+    assert net.stats.dropped == 1
+
+
+def test_multicast_reaches_all_members():
+    sim, net = make_net()
+    group = Address("224.0.0.1", 9000)
+    socks = [net.bind_datagram(net.host(h), 7000) for h in ("alpha", "beta", "gamma")]
+    for sock in socks[1:]:
+        sock.join(group)
+
+    def sender():
+        yield from socks[0].send_multicast(group, "announce")
+
+    sim.process(sender())
+    sim.run()
+    assert socks[1].pending() == 1
+    assert socks[2].pending() == 1
+    assert socks[0].pending() == 0  # sender doesn't hear itself
+
+
+def test_multicast_leave():
+    sim, net = make_net()
+    group = Address("224.0.0.1", 9000)
+    a = net.bind_datagram(net.host("alpha"), 7000)
+    b = net.bind_datagram(net.host("beta"), 7000)
+    b.join(group)
+    b.leave(group)
+
+    def sender():
+        yield from a.send_multicast(group, "x")
+
+    sim.process(sender())
+    sim.run()
+    assert b.pending() == 0
+
+
+def test_ephemeral_ports_unique():
+    sim, net = make_net()
+    p1 = net.ephemeral_port("alpha")
+    p2 = net.ephemeral_port("alpha")
+    assert p1 != p2
+
+
+def test_address_parse():
+    assert Address.parse("bar:1234") == Address("bar", 1234)
+    with pytest.raises(ValueError):
+        Address.parse("no-port")

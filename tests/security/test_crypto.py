@@ -1,0 +1,132 @@
+"""Unit tests for the toy crypto primitives."""
+
+import random
+
+import pytest
+
+from repro.security.crypto import (
+    Certificate,
+    CertificateAuthority,
+    CertificateError,
+    KeyPair,
+    KeystreamCipher,
+    MODP_P,
+    derive_keys,
+    dh_keypair,
+    dh_shared_secret,
+    hmac_sha256,
+    sha256_hex,
+    verify_certificate,
+    verify_signature,
+)
+
+
+def test_sha256_hex_deterministic():
+    assert sha256_hex("a", "b") == sha256_hex("ab")
+    assert sha256_hex(b"bytes") == sha256_hex("bytes")
+
+
+def test_dh_agreement():
+    rng = random.Random(1)
+    a_priv, a_pub = dh_keypair(rng)
+    b_priv, b_pub = dh_keypair(rng)
+    assert dh_shared_secret(a_priv, b_pub) == dh_shared_secret(b_priv, a_pub)
+
+
+def test_dh_rejects_degenerate_public():
+    rng = random.Random(1)
+    priv, _ = dh_keypair(rng)
+    for bad in (0, 1, MODP_P - 1, MODP_P):
+        with pytest.raises(ValueError):
+            dh_shared_secret(priv, bad)
+
+
+def test_schnorr_sign_verify():
+    kp = KeyPair.generate(random.Random(2))
+    sig = kp.sign("the message")
+    assert verify_signature(kp.public, "the message", sig)
+    assert not verify_signature(kp.public, "another message", sig)
+
+
+def test_schnorr_rejects_wrong_key():
+    kp1 = KeyPair.generate(random.Random(3))
+    kp2 = KeyPair.generate(random.Random(4))
+    sig = kp1.sign("msg")
+    assert not verify_signature(kp2.public, "msg", sig)
+
+
+def test_schnorr_signature_deterministic():
+    kp = KeyPair.generate(random.Random(5))
+    assert kp.sign("m") == kp.sign("m")
+
+
+def test_verify_malformed_signature_returns_false():
+    kp = KeyPair.generate(random.Random(6))
+    assert not verify_signature(kp.public, "m", "garbage")
+    assert not verify_signature(kp.public, "m", (10**400, 1))
+
+
+def test_principal_is_stable_and_short():
+    kp = KeyPair.generate(random.Random(7))
+    assert kp.principal() == kp.principal()
+    assert kp.principal().startswith("key:")
+
+
+def test_keystream_cipher_roundtrip():
+    cipher = KeystreamCipher(b"k" * 32)
+    nonce = b"\x00" * 8
+    msg = b"attack at dawn" * 10
+    ct = cipher.encrypt(nonce, msg)
+    assert ct != msg
+    assert cipher.decrypt(nonce, ct) == msg
+
+
+def test_keystream_nonce_separation():
+    cipher = KeystreamCipher(b"k" * 32)
+    msg = b"same plaintext"
+    assert cipher.encrypt(b"\x00" * 8, msg) != cipher.encrypt(b"\x01" * 8, msg)
+
+
+def test_keystream_key_too_short():
+    with pytest.raises(ValueError):
+        KeystreamCipher(b"short")
+
+
+def test_derive_keys_distinct():
+    cipher_key, mac_key = derive_keys(b"s" * 128, "transcript")
+    assert cipher_key != mac_key
+    assert len(cipher_key) == 32
+
+
+def test_hmac_known_length():
+    assert len(hmac_sha256(b"key", b"msg")) == 32
+
+
+def test_ca_issue_and_verify():
+    ca = CertificateAuthority(random.Random(8))
+    kp, cert = ca.issue_keypair("asd.hawk")
+    ca.verify(cert)
+    assert verify_certificate(cert, ca.public_key, ca.name)
+
+
+def test_ca_rejects_tampered_cert():
+    ca = CertificateAuthority(random.Random(9))
+    _, cert = ca.issue_keypair("asd.hawk")
+    forged = Certificate("evil", cert.public_key, cert.issuer, cert.signature)
+    with pytest.raises(CertificateError):
+        ca.verify(forged)
+    assert not verify_certificate(forged, ca.public_key, ca.name)
+
+
+def test_ca_rejects_unknown_issuer():
+    ca1 = CertificateAuthority(random.Random(10), name="ca-one")
+    ca2 = CertificateAuthority(random.Random(11), name="ca-two")
+    _, cert = ca1.issue_keypair("svc")
+    with pytest.raises(CertificateError):
+        ca2.verify(cert)
+
+
+def test_certificate_wire_size_positive():
+    ca = CertificateAuthority(random.Random(12))
+    _, cert = ca.issue_keypair("svc")
+    assert cert.wire_size() > 0

@@ -1,0 +1,263 @@
+"""Unit tests for the KeyNote trust-management subset."""
+
+import random
+
+import pytest
+
+from repro.security.crypto import KeyPair
+from repro.security.keynote import (
+    Assertion,
+    ComplianceChecker,
+    KeyNoteError,
+    parse_assertion,
+    parse_conditions,
+    parse_licensees,
+)
+
+
+def kp(seed):
+    return KeyPair.generate(random.Random(seed))
+
+
+# -- licensee expressions ---------------------------------------------------
+
+def test_licensee_single_principal():
+    expr = parse_licensees('"key:aa"', {})
+    assert expr.value({"key:aa": 1}, 0) == 1
+    assert expr.value({}, 0) == 0
+
+
+def test_licensee_and_is_min():
+    expr = parse_licensees('"a" && "b"', {})
+    assert expr.value({"a": 2, "b": 1}, 0) == 1
+
+
+def test_licensee_or_is_max():
+    expr = parse_licensees('"a" || "b"', {})
+    assert expr.value({"a": 2, "b": 1}, 0) == 2
+
+
+def test_licensee_threshold():
+    expr = parse_licensees('2-of("a", "b", "c")', {})
+    assert expr.value({"a": 1, "b": 1}, 0) == 1   # 2nd largest = 1
+    assert expr.value({"a": 1}, 0) == 0           # only one signer
+
+
+def test_licensee_threshold_bad_k():
+    with pytest.raises(KeyNoteError):
+        parse_licensees('5-of("a", "b")', {})
+
+
+def test_licensee_parens_and_constants():
+    expr = parse_licensees('A || ("b" && "c")', {"A": "key:real"})
+    assert expr.value({"key:real": 1}, 0) == 1
+    assert expr.value({"b": 1, "c": 1}, 0) == 1
+    assert expr.value({"b": 1}, 0) == 0
+
+
+def test_licensee_trailing_garbage():
+    with pytest.raises(KeyNoteError):
+        parse_licensees('"a" "b"', {})
+
+
+# -- conditions ---------------------------------------------------------------
+
+def evaluate(text, attrs):
+    clauses = parse_conditions(text)
+    return [c.expr.eval(attrs) for c in clauses]
+
+
+def test_condition_string_equality():
+    assert evaluate('app_domain == "ace"', {"app_domain": "ace"}) == [True]
+    assert evaluate('app_domain == "ace"', {"app_domain": "other"}) == [False]
+
+
+def test_condition_numeric_comparison():
+    assert evaluate("duration < 3600", {"duration": 100}) == [True]
+    assert evaluate("duration < 3600", {"duration": "7200"}) == [False]
+
+
+def test_condition_unknown_attribute_is_empty_string():
+    assert evaluate('missing == ""', {}) == [True]
+
+
+def test_condition_boolean_operators():
+    attrs = {"a": "1", "b": "2"}
+    assert evaluate('a == "1" && b == "2"', attrs) == [True]
+    assert evaluate('a == "x" || b == "2"', attrs) == [True]
+    assert evaluate('!(a == "1")', attrs) == [False]
+
+
+def test_condition_clause_values():
+    clauses = parse_conditions('cmd == "read" -> "permit"; true -> "deny";')
+    assert clauses[0].value == "permit"
+    assert clauses[1].value == "deny"
+
+
+def test_condition_literals():
+    assert evaluate("true", {}) == [True]
+    assert evaluate("false", {}) == [False]
+
+
+def test_condition_malformed():
+    with pytest.raises(KeyNoteError):
+        parse_conditions('cmd === "x"')
+
+
+# -- assertion structure ------------------------------------------------------
+
+def test_policy_assertion_unsigned_ok():
+    a = Assertion(authorizer="POLICY", licensees_text='"key:root"', conditions_text="")
+    assert a.is_policy
+    assert a.verify({})
+
+
+def test_credential_requires_valid_signature():
+    admin = kp(1)
+    cred = Assertion(
+        authorizer=admin.principal(),
+        licensees_text='"user:john"',
+        conditions_text='command == "view"',
+    )
+    assert not cred.verify({admin.principal(): admin.public})
+    cred.sign(admin)
+    assert cred.verify({admin.principal(): admin.public})
+
+
+def test_sign_with_wrong_key_rejected():
+    admin, mallory = kp(1), kp(2)
+    cred = Assertion(authorizer=admin.principal(), licensees_text='"x"', conditions_text="")
+    with pytest.raises(KeyNoteError):
+        cred.sign(mallory)
+
+
+def test_tampered_credential_fails_verification():
+    admin = kp(1)
+    cred = Assertion(
+        authorizer=admin.principal(), licensees_text='"user:john"', conditions_text=""
+    ).sign(admin)
+    cred.licensees_text = '"user:mallory"'
+    assert not cred.verify({admin.principal(): admin.public})
+
+
+def test_assertion_text_roundtrip():
+    admin = kp(3)
+    original = Assertion(
+        authorizer=admin.principal(),
+        licensees_text='"user:john" || "user:jane"',
+        conditions_text='command == "view" -> "permit";',
+        local_constants={"ROOT": "key:root"},
+    ).sign(admin)
+    parsed = parse_assertion(original.to_text())
+    assert parsed.authorizer == original.authorizer
+    assert parsed.signature == original.signature
+    assert parsed.verify({admin.principal(): admin.public})
+
+
+def test_parse_assertion_malformed():
+    with pytest.raises(KeyNoteError):
+        parse_assertion("not an assertion")
+    with pytest.raises(KeyNoteError):
+        parse_assertion("Licensees: \"a\"")  # missing Authorizer
+
+
+# -- compliance checking -------------------------------------------------------
+
+def build_chain():
+    """POLICY -> admin -> john, with conditions on the admin->john hop."""
+    admin = kp(10)
+    policy = Assertion(
+        authorizer="POLICY",
+        licensees_text=f'"{admin.principal()}"',
+        conditions_text='app_domain == "ace"',
+    )
+    cred = Assertion(
+        authorizer=admin.principal(),
+        licensees_text='"user:john"',
+        conditions_text='command == "view" -> "permit"; command == "admin" -> "deny";',
+    ).sign(admin)
+    keys = {admin.principal(): admin.public}
+    return policy, cred, keys
+
+
+def test_direct_policy_authorization():
+    policy = Assertion(authorizer="POLICY", licensees_text='"user:root"', conditions_text="")
+    checker = ComplianceChecker([policy])
+    assert checker.query(["user:root"], {}) == "permit"
+    assert checker.query(["user:other"], {}) == "deny"
+
+
+def test_delegation_chain_permits_conditionally():
+    policy, cred, keys = build_chain()
+    checker = ComplianceChecker([policy, cred], principal_keys=keys)
+    attrs = {"app_domain": "ace", "command": "view"}
+    assert checker.query(["user:john"], attrs) == "permit"
+    assert checker.authorized(["user:john"], attrs)
+
+
+def test_delegation_denies_unlisted_command():
+    policy, cred, keys = build_chain()
+    checker = ComplianceChecker([policy, cred], principal_keys=keys)
+    assert checker.query(["user:john"], {"app_domain": "ace", "command": "admin"}) == "deny"
+    assert checker.query(["user:john"], {"app_domain": "ace", "command": "reboot"}) == "deny"
+
+
+def test_policy_condition_caps_chain():
+    policy, cred, keys = build_chain()
+    checker = ComplianceChecker([policy, cred], principal_keys=keys)
+    # Wrong app_domain defeats the policy root even though cred permits.
+    assert checker.query(["user:john"], {"app_domain": "other", "command": "view"}) == "deny"
+
+
+def test_unsigned_credential_ignored():
+    policy, cred, keys = build_chain()
+    cred.signature = None
+    checker = ComplianceChecker([policy, cred], principal_keys=keys)
+    assert checker.query(["user:john"], {"app_domain": "ace", "command": "view"}) == "deny"
+
+
+def test_conjunction_licensees_requires_both():
+    policy = Assertion(
+        authorizer="POLICY", licensees_text='"user:a" && "user:b"', conditions_text=""
+    )
+    checker = ComplianceChecker([policy])
+    assert checker.query(["user:a"], {}) == "deny"
+    assert checker.query(["user:a", "user:b"], {}) == "permit"
+
+
+def test_delegation_cycle_terminates():
+    a = Assertion(authorizer="POLICY", licensees_text='"p"', conditions_text="")
+    loop1 = Assertion(authorizer="p", licensees_text='"q"', conditions_text="")
+    loop2 = Assertion(authorizer="q", licensees_text='"p"', conditions_text="")
+    checker = ComplianceChecker([a, loop1, loop2], strict_signatures=False)
+    assert checker.query(["q"], {}) == "permit"
+    assert checker.query(["nobody"], {}) == "deny"
+
+
+def test_three_level_compliance_values():
+    admin = kp(20)
+    policy = Assertion(authorizer="POLICY", licensees_text=f'"{admin.principal()}"', conditions_text="")
+    cred = Assertion(
+        authorizer=admin.principal(),
+        licensees_text='"user:guest"',
+        conditions_text='command == "view" -> "read-only";',
+    ).sign(admin)
+    checker = ComplianceChecker(
+        [policy, cred],
+        values=("deny", "read-only", "permit"),
+        principal_keys={admin.principal(): admin.public},
+    )
+    assert checker.query(["user:guest"], {"command": "view"}) == "read-only"
+    assert not checker.authorized(["user:guest"], {"command": "view"}, minimum="permit")
+    assert checker.authorized(["user:guest"], {"command": "view"}, minimum="read-only")
+
+
+def test_threshold_delegation():
+    policy = Assertion(
+        authorizer="POLICY",
+        licensees_text='2-of("officer:a", "officer:b", "officer:c")',
+        conditions_text="",
+    )
+    checker = ComplianceChecker([policy])
+    assert checker.query(["officer:a"], {}) == "deny"
+    assert checker.query(["officer:a", "officer:c"], {}) == "permit"

@@ -1,0 +1,126 @@
+"""Unit tests for the DSP kernels (NLMS, Goertzel, signatures)."""
+
+import numpy as np
+import pytest
+
+from repro.services import dsp
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+def test_tone_frequency_content():
+    signal = dsp.tone(1000.0, 8000)
+    spectrum = np.abs(np.fft.rfft(signal))
+    peak_freq = np.argmax(spectrum)  # bin == Hz for 1s @ 8kHz
+    assert abs(peak_freq - 1000) <= 1
+
+
+def test_speech_like_is_bounded_and_nontrivial():
+    signal = dsp.speech_like(8000, rng())
+    assert signal.dtype == np.float32
+    assert np.max(np.abs(signal)) <= 1.0
+    assert np.std(signal) > 0.01
+
+
+def test_echo_path_shape():
+    h = dsp.synth_echo_path(rng())
+    assert h[8] == pytest.approx(0.7)
+    assert np.all(h[:8] == 0)
+
+
+def test_nlms_converges_on_synthetic_echo():
+    """Feed far-end speech through a synthetic room; NLMS should remove
+    >20 dB of echo after convergence."""
+    r = rng()
+    far = dsp.speech_like(4 * dsp.SAMPLE_RATE, r)
+    path = dsp.synth_echo_path(r, taps=48)
+    echo = dsp.apply_echo(far, path)
+    filt = dsp.NLMSFilter(taps=64, mu=0.7)
+    # Process in 20 ms blocks like the daemon does.
+    residuals = [
+        filt.process(fb, eb)
+        for fb, eb in zip(dsp.chunk_signal(far), dsp.chunk_signal(echo))
+    ]
+    # Measure on the final second (after convergence).
+    tail = dsp.SAMPLE_RATE
+    echo_tail = echo[-tail:]
+    residual_tail = np.concatenate(residuals)[-tail:]
+    assert dsp.erle_db(echo_tail, residual_tail) > 20.0
+
+
+def test_nlms_preserves_near_end_speech():
+    """Near-end speech (not correlated with the reference) must survive."""
+    r = rng()
+    far = dsp.speech_like(2 * dsp.SAMPLE_RATE, r)
+    # Unpredictable near-end signal (a pure tone would be partially
+    # cancellable by any adaptive predictor — classic double-talk effect).
+    near = (0.3 * r.standard_normal(2 * dsp.SAMPLE_RATE)).astype(np.float32)
+    path = dsp.synth_echo_path(r)
+    mic = dsp.apply_echo(far, path) + near
+    filt = dsp.NLMSFilter(taps=64, mu=0.5)
+    out = np.concatenate([
+        filt.process(fb, mb)
+        for fb, mb in zip(dsp.chunk_signal(far), dsp.chunk_signal(mic))
+    ])
+    tail = dsp.SAMPLE_RATE // 2
+    near_power = float(np.mean(near[-tail:] ** 2))
+    out_power = float(np.mean(out[-tail:].astype(np.float64) ** 2))
+    # Output power is within 3 dB of the near-end signal alone.
+    assert abs(10 * np.log10(out_power / near_power)) < 3.0
+
+
+def test_nlms_validates_inputs():
+    with pytest.raises(ValueError):
+        dsp.NLMSFilter(mu=0.0)
+    filt = dsp.NLMSFilter()
+    with pytest.raises(ValueError):
+        filt.process(np.zeros(10), np.zeros(11))
+
+
+def test_erle_of_perfect_cancellation_is_large():
+    echo = dsp.tone(500.0, 1000)
+    assert dsp.erle_db(echo, np.zeros(1000)) > 60
+
+
+def test_word_signature_deterministic_and_from_tables():
+    f1a, f2a = dsp.word_signature("lights_on")
+    f1b, f2b = dsp.word_signature("lights_on")
+    assert (f1a, f2a) == (f1b, f2b)
+    assert f1a in dsp.LOW_FREQS and f2a in dsp.HIGH_FREQS
+
+
+def test_goertzel_detects_present_tone():
+    signal = dsp.tone(770.0, 2000)
+    assert dsp.goertzel_power(signal, 770.0) > 100 * dsp.goertzel_power(signal, 1633.0)
+
+
+def test_detect_word_roundtrip():
+    vocab = ["lights_on", "lights_off", "record", "call_office"]
+    for word in vocab:
+        signal = dsp.synth_word(word)
+        assert dsp.detect_word(signal, vocab) == word
+
+
+def test_detect_word_rejects_noise_and_silence():
+    vocab = ["lights_on", "record"]
+    noise = (0.1 * np.random.default_rng(1).standard_normal(2400)).astype(np.float32)
+    assert dsp.detect_word(noise, vocab) is None
+    assert dsp.detect_word(np.zeros(2400, dtype=np.float32), vocab) is None
+    assert dsp.detect_word(np.zeros(0), vocab) is None
+    assert dsp.detect_word(dsp.synth_word("record"), []) is None
+
+
+def test_detect_word_in_speech_background():
+    vocab = ["record", "stop"]
+    word = dsp.synth_word("record")
+    background = 0.15 * dsp.speech_like(len(word), rng())
+    assert dsp.detect_word(word + background, vocab) == "record"
+
+
+def test_chunk_signal_pads_tail():
+    chunks = dsp.chunk_signal(np.ones(400, dtype=np.float32))
+    assert len(chunks) == 3
+    assert all(len(c) == dsp.CHUNK_SAMPLES for c in chunks)
+    assert chunks[-1][-1] == 0.0  # padded

@@ -1,0 +1,68 @@
+"""Unit tests for RngRegistry and TraceRecorder."""
+
+from repro.sim import RngRegistry, TraceRecorder
+
+
+def test_same_seed_same_stream():
+    a = RngRegistry(7).py("jitter")
+    b = RngRegistry(7).py("jitter")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_differ():
+    reg = RngRegistry(7)
+    xs = [reg.py("a").random() for _ in range(5)]
+    ys = [reg.py("b").random() for _ in range(5)]
+    assert xs != ys
+
+
+def test_numpy_streams_deterministic():
+    a = RngRegistry(3).np("noise").normal(size=4)
+    b = RngRegistry(3).np("noise").normal(size=4)
+    assert (a == b).all()
+
+
+def test_stream_is_cached():
+    reg = RngRegistry(1)
+    assert reg.py("x") is reg.py("x")
+    assert reg.np("x") is reg.np("x")
+
+
+def test_fork_is_independent():
+    reg = RngRegistry(5)
+    child = reg.fork("child")
+    assert child.py("a").random() != reg.py("a").random()
+
+
+def test_trace_emit_and_filter():
+    tr = TraceRecorder()
+    tr.emit(1.0, "asd", "register", service="ptz")
+    tr.emit(2.0, "client", "lookup", service="ptz")
+    tr.emit(3.0, "asd", "lookup-reply")
+    assert len(tr) == 3
+    assert [r.kind for r in tr.filter(source="asd")] == ["register", "lookup-reply"]
+    assert tr.first("lookup").time == 2.0
+    assert tr.last("lookup-reply").detail == {}
+
+
+def test_trace_span_and_kinds():
+    tr = TraceRecorder()
+    tr.emit(1.0, "x", "start")
+    tr.emit(4.0, "x", "mid")
+    tr.emit(9.0, "x", "end")
+    assert tr.span("start", "end") == 8.0
+    assert tr.span("start", "missing") is None
+    assert tr.kinds() == ["start", "mid", "end"]
+
+
+def test_trace_disabled_records_nothing():
+    tr = TraceRecorder(enabled=False)
+    tr.emit(1.0, "x", "start")
+    assert len(tr) == 0
+
+
+def test_trace_clear():
+    tr = TraceRecorder()
+    tr.emit(1.0, "x", "start")
+    tr.clear()
+    assert len(tr) == 0

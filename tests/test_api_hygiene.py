@@ -1,0 +1,108 @@
+"""Meta-tests enforcing the documentation/API discipline of deliverable (e):
+every public module and class carries a docstring; every daemon's command
+vocabulary is fully declared in its semantics.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def iter_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+def test_every_module_has_docstring():
+    missing = [m.__name__ for m in iter_modules() if not (m.__doc__ or "").strip()]
+    assert missing == [], f"modules without docstrings: {missing}"
+
+
+def test_every_public_class_has_docstring():
+    missing = []
+    for module in iter_modules():
+        for name, obj in vars(module).items():
+            if name.startswith("_") or not inspect.isclass(obj):
+                continue
+            if obj.__module__ != module.__name__:
+                continue  # re-export
+            if not (obj.__doc__ or "").strip():
+                missing.append(f"{module.__name__}.{name}")
+    assert missing == [], f"classes without docstrings: {missing}"
+
+
+def test_services_package_exports_every_daemon():
+    """Any ACEDaemon subclass defined under repro.services must be exported
+    from the package root (the public API surface)."""
+    from repro.core.daemon import ACEDaemon
+    import repro.services as services
+
+    unexported = []
+    for module in iter_modules():
+        if not module.__name__.startswith("repro.services."):
+            continue
+        for name, obj in vars(module).items():
+            if (inspect.isclass(obj) and issubclass(obj, ACEDaemon)
+                    and obj.__module__ == module.__name__
+                    and not name.startswith("_")):
+                if name not in services.__all__:
+                    unexported.append(f"{module.__name__}.{name}")
+    assert unexported == [], f"daemons missing from repro.services: {unexported}"
+
+
+def test_every_handler_has_declared_semantics():
+    """cmd_<name> handlers must have a matching semantics definition —
+    otherwise the command is unreachable (the daemon's parser rejects it).
+    Instantiation-free check via build_semantics on a dummy instance."""
+    from repro.core.daemon import ACEDaemon
+    from repro.env import ACEEnvironment
+    import repro.services as services
+
+    env = ACEEnvironment(seed=999)
+    host = env.add_host("probe")
+    problems = []
+    for name in services.__all__:
+        obj = getattr(services, name)
+        if not (inspect.isclass(obj) and issubclass(obj, ACEDaemon)):
+            continue
+        try:
+            daemon = obj(env.ctx, f"probe.{name}", host)
+        except TypeError:
+            continue  # requires extra constructor args; skip
+        for attr in dir(daemon):
+            if attr.startswith("cmd_"):
+                command_name = attr[len("cmd_"):]
+                if command_name not in daemon.semantics:
+                    problems.append(f"{name}.{attr}")
+    assert problems == [], f"handlers without semantics: {problems}"
+
+
+def test_every_declared_command_has_handler_or_builtin():
+    """The converse: declared commands must be executable."""
+    from repro.core.daemon import ACEDaemon
+    from repro.env import ACEEnvironment
+    import repro.services as services
+
+    builtins = {"ping", "listCommands", "getInfo", "attach",
+                "addNotification", "removeNotification"}
+    env = ACEEnvironment(seed=998)
+    host = env.add_host("probe")
+    problems = []
+    for name in services.__all__:
+        obj = getattr(services, name)
+        if not (inspect.isclass(obj) and issubclass(obj, ACEDaemon)):
+            continue
+        try:
+            daemon = obj(env.ctx, f"probe.{name}", host)
+        except TypeError:
+            continue
+        for command_name in daemon.semantics.commands():
+            if command_name in builtins:
+                continue
+            if not hasattr(daemon, f"cmd_{command_name}"):
+                problems.append(f"{name}: {command_name}")
+    assert problems == [], f"declared commands without handlers: {problems}"

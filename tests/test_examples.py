@@ -1,0 +1,58 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Guards the examples against API drift — they are the quickstart surface a
+new user touches first.
+"""
+
+import importlib
+import io
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES = [
+    "quickstart",
+    "conference_room",
+    "audio_conference",
+    "robust_services",
+    "secure_ace",
+    "smart_spaces",
+]
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    import sys
+    from pathlib import Path
+
+    examples_dir = Path(__file__).resolve().parent.parent / "examples"
+    sys.path.insert(0, str(examples_dir))
+    try:
+        module = importlib.import_module(name)
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            module.main()
+        output = buffer.getvalue()
+    finally:
+        sys.path.remove(str(examples_dir))
+    assert len(output) > 100  # produced real narration
+    lowered = output.lower()
+    assert "traceback" not in lowered
+
+
+def test_quickstart_output_mentions_camera():
+    import sys
+    from pathlib import Path
+
+    examples_dir = Path(__file__).resolve().parent.parent / "examples"
+    sys.path.insert(0, str(examples_dir))
+    try:
+        module = importlib.import_module("quickstart")
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            module.main()
+    finally:
+        sys.path.remove(str(examples_dir))
+    out = buffer.getvalue()
+    assert "camera.hawk" in out
+    assert "setPosition" in out
