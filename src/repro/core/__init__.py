@@ -19,18 +19,32 @@ from repro.core.daemon import ACEDaemon, Request, ServiceError
 from repro.core.client import ServiceClient, ServiceConnection, CallError
 from repro.core.leases import Lease, LeaseTable
 from repro.core.notifications import NotificationEntry, NotificationTable
+from repro.core.policy import (
+    BreakerOpen,
+    CallPolicy,
+    CircuitBreaker,
+    DeadlineExceeded,
+    ResilienceRegistry,
+    TransportError,
+)
 
 __all__ = [
     "ACEDaemon",
+    "BreakerOpen",
     "CallError",
+    "CallPolicy",
+    "CircuitBreaker",
     "DaemonContext",
+    "DeadlineExceeded",
     "Lease",
     "LeaseTable",
     "NotificationEntry",
     "NotificationTable",
     "Request",
+    "ResilienceRegistry",
     "SecurityMode",
     "ServiceClient",
     "ServiceConnection",
     "ServiceError",
+    "TransportError",
 ]

@@ -23,15 +23,17 @@ from repro.net.secure import SecureChannel, handshake_client
 from repro.security.crypto import KeyPair, sha256_hex
 
 from repro.core.context import DaemonContext, SecurityMode
+from repro.core.policy import (
+    BreakerOpen,
+    CallError,
+    CallPolicy,
+    DeadlineExceeded,
+    TransportError,
+)
 
-
-class CallError(Exception):
-    """The service replied cmdFailed, or transport failed mid-call."""
-
-    def __init__(self, message: str, reply: Optional[ACECmdLine] = None):
-        super().__init__(message)
-        self.reply = reply
-
+#: transport-level failures worth retrying (the endpoint may recover);
+#: plain CallError (cmdFailed) means the service answered — never retried.
+RETRYABLE = (ConnectionRefused, ConnectionClosed, TransportError, DeadlineExceeded)
 
 Channel = Union[Connection, SecureChannel]
 
@@ -65,7 +67,7 @@ class ServiceConnection:
             yield from self.channel.send(command.to_string())
             reply_text = yield from self.channel.recv()
         except ConnectionClosed as exc:
-            raise CallError(f"connection lost during {command.name!r}: {exc}")
+            raise TransportError(f"connection lost during {command.name!r}: {exc}")
         reply = parse_command(reply_text)
         if check and is_error(reply):
             raise CallError(
@@ -97,6 +99,7 @@ class ServiceClient:
         self.principal = principal
         self.keypair = keypair
         self._rng = ctx.rng.py(f"client.{host.name}.{principal}")
+        self._retry_rng = ctx.rng.py(f"rpc.{host.name}.{principal}")
 
     def connect(
         self,
@@ -138,3 +141,124 @@ class ServiceClient:
         finally:
             connection.close()
         return reply
+
+    # ------------------------------------------------------------------
+    # Resilient path: deadline + retry + circuit breaker
+    # ------------------------------------------------------------------
+    def call_resilient(
+        self,
+        address: Address,
+        command: ACECmdLine,
+        policy: Optional[CallPolicy] = None,
+        *,
+        check: bool = True,
+        expected_subject: Optional[str] = None,
+        attach: bool = True,
+    ) -> Generator:
+        """``call_once`` hardened for gray failure.
+
+        Each attempt (connect + call + reply) races a simulated timeout of
+        ``policy.attempt_timeout``; transport failures and attempt timeouts
+        are retried with jittered exponential backoff until
+        ``policy.max_attempts`` or the overall ``policy.deadline`` is
+        exhausted.  A per-address circuit breaker (shared environment-wide
+        via ``ctx.resilience``) sheds calls to endpoints that keep failing.
+
+        Raises :class:`BreakerOpen` without touching the network when the
+        breaker is open, :class:`DeadlineExceeded` when the budget runs out,
+        or the last transport error when attempts are exhausted.  A
+        ``cmdFailed`` reply (plain :class:`CallError`) is never retried —
+        the endpoint answered, so it also counts as breaker success.
+        """
+        registry = self.ctx.resilience
+        policy = policy or registry.default_policy
+        stats = registry.stats
+        breaker = registry.breaker(address, policy)
+        sim = self.ctx.sim
+        deadline_at = sim.now + policy.deadline
+        stats.calls += 1
+        attempt = 0
+        while True:
+            now = sim.now
+            if not breaker.allow(now):
+                stats.breaker_rejected += 1
+                raise BreakerOpen(f"circuit open for {address} ({command.name!r})")
+            budget = min(policy.attempt_timeout, deadline_at - now)
+            if budget <= 0:
+                stats.deadline_expired += 1
+                stats.failures += 1
+                raise DeadlineExceeded(
+                    f"{command.name!r} to {address} exceeded {policy.deadline:.3f}s deadline"
+                )
+            try:
+                reply = yield from self._attempt_with_timeout(
+                    address, command, budget,
+                    check=check, expected_subject=expected_subject, attach=attach,
+                )
+            except RETRYABLE as exc:
+                if isinstance(exc, DeadlineExceeded):
+                    stats.deadline_expired += 1
+                if breaker.record_failure(sim.now):
+                    stats.breaker_trips += 1
+                    self.ctx.trace.emit(
+                        sim.now, "rpc", "breaker-open", address=str(address)
+                    )
+                attempt += 1
+                if attempt >= policy.max_attempts or sim.now >= deadline_at:
+                    stats.failures += 1
+                    raise
+                stats.retries += 1
+                delay = policy.backoff_delay(attempt, self._retry_rng)
+                yield sim.timeout(min(delay, max(deadline_at - sim.now, 0.0)))
+                continue
+            except CallError:
+                # The service answered (cmdFailed): healthy transport.
+                if breaker.record_success():
+                    stats.breaker_resets += 1
+                stats.successes += 1
+                raise
+            if breaker.record_success():
+                stats.breaker_resets += 1
+                self.ctx.trace.emit(
+                    sim.now, "rpc", "breaker-closed", address=str(address)
+                )
+            stats.successes += 1
+            return reply
+
+    def _attempt_with_timeout(
+        self, address: Address, command: ACECmdLine, timeout: float, **kw
+    ) -> Generator:
+        """Race one call attempt against a sim timeout; losing attempts are
+        interrupted so they release their connection."""
+        sim = self.ctx.sim
+        proc = sim.process(
+            self._attempt(address, command, **kw), name=f"rpc.{self.principal}"
+        )
+        timer = sim.timeout(timeout)
+        outcome = yield sim.any_of([proc, timer])
+        if proc in outcome:
+            return outcome[proc]
+        proc.interrupt("rpc attempt deadline")
+        raise DeadlineExceeded(
+            f"{command.name!r} to {address} exceeded {timeout:.3f}s attempt budget"
+        )
+
+    def _attempt(
+        self,
+        address: Address,
+        command: ACECmdLine,
+        *,
+        check: bool = True,
+        expected_subject: Optional[str] = None,
+        attach: bool = True,
+    ) -> Generator:
+        connection = None
+        try:
+            connection = yield from self.connect(
+                address, expected_subject=expected_subject, attach=attach
+            )
+            reply = yield from connection.call(command, check=check)
+            return reply
+        finally:
+            if connection is not None:
+                connection.close()

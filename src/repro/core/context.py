@@ -18,6 +18,8 @@ from repro.security.crypto import Certificate, CertificateAuthority, KeyPair
 from repro.security.keynote import Assertion
 from repro.sim import RngRegistry, Simulator, TraceRecorder
 
+from repro.core.policy import ResilienceRegistry
+
 
 class SecurityMode(enum.Enum):
     """How much of Chapter 3 is switched on (experiment E5 sweeps this)."""
@@ -65,6 +67,8 @@ class DaemonContext:
     lease_renew_fraction: float = 0.5
     #: CPU work charged per command dispatch, bogomips-seconds
     dispatch_work: float = 2.0
+    #: shared breakers/counters/lookup-cache for the resilient RPC layer
+    resilience: ResilienceRegistry = field(default_factory=ResilienceRegistry)
 
     def default_bootstrap(self, asd_host: str) -> None:
         """Point the well-known addresses at conventional ports on one host."""

@@ -47,6 +47,21 @@ from repro.sim import Interrupt, Process, QueueClosed, Store
 from repro.core.client import Channel, ServiceClient, CallError, channel_binding
 from repro.core.context import DaemonContext, SecurityMode
 from repro.core.notifications import NotificationEntry, NotificationTable
+from repro.core.policy import CallPolicy
+
+#: retry shape for boot-time ASD registration: daemons launched at boot may
+#: beat the ASD onto the network (§2.6), so back off ~0.5 s → 4 s across five
+#: attempts.  The breaker is disabled — every daemon in the environment races
+#: the same ASD address at boot, and one daemon's early failures must not
+#: shed its siblings' registrations.
+STARTUP_REGISTRATION_POLICY = CallPolicy(
+    deadline=60.0,
+    attempt_timeout=5.0,
+    max_attempts=5,
+    backoff_base=0.5,
+    backoff_max=4.0,
+    breaker_threshold=0,
+)
 
 
 class ServiceError(Exception):
@@ -101,6 +116,7 @@ class ACEDaemon:
         self._main_proc: Optional[Process] = None
         self._child_procs: List[Process] = []
         self._credential_cache: Dict[str, tuple[float, list]] = {}
+        self._credential_sweep_at = 0.0
         self._commands_served = 0
 
         # Identity for SSL server handshakes and signed actions.
@@ -269,18 +285,11 @@ class ACEDaemon:
             except (CallError, ConnectionClosed, ConnectionRefused) as exc:
                 trace.emit(self.ctx.sim.now, self.name, "roomdb-unavailable", error=str(exc))
         if self.register_with_asd and self.ctx.asd_address is not None:
-            # Daemons launched at boot may beat the ASD onto the network
-            # (§2.6); retry with backoff before giving up loudly.
-            attempts = 0
-            while True:
-                try:
-                    yield from client.call_once(self.ctx.asd_address, self._registration_command())
-                    break
-                except (CallError, ConnectionClosed, Exception):
-                    attempts += 1
-                    if attempts >= 5:
-                        raise
-                    yield self.ctx.sim.timeout(0.5 * attempts)
+            yield from client.call_resilient(
+                self.ctx.asd_address,
+                self._registration_command(),
+                policy=STARTUP_REGISTRATION_POLICY,
+            )
             trace.emit(self.ctx.sim.now, self.name, "asd-registered", cls=self.class_path())
         if self.ctx.netlogger_address is not None:
             try:
@@ -463,8 +472,9 @@ class ACEDaemon:
         cfg = self.ctx.security
         if not cfg.authdb_lookup or self.ctx.asd_address is None:
             return []
-        cached = self._credential_cache.get(principal)
         now = self.ctx.sim.now
+        self._evict_stale_credentials(now)
+        cached = self._credential_cache.get(principal)
         if cached is not None and now - cached[0] <= cfg.credential_cache_ttl:
             return cached[1]
         authdb_addr = getattr(self.ctx, "authdb_address", None)
@@ -490,6 +500,19 @@ class ACEDaemon:
                 continue
         self._credential_cache[principal] = (now, credentials)
         return credentials
+
+    def _evict_stale_credentials(self, now: float) -> None:
+        """Drop cache entries past their TTL so long-lived daemons don't
+        accumulate one entry per principal ever seen.  Sweeps are rate
+        limited to one per lease duration — the natural "a principal that
+        went away has been purged elsewhere too" horizon."""
+        if now - self._credential_sweep_at < self.ctx.lease_duration:
+            return
+        self._credential_sweep_at = now
+        ttl = max(self.ctx.security.credential_cache_ttl, 0.0)
+        stale = [p for p, (t, _) in self._credential_cache.items() if now - t > ttl]
+        for principal in stale:
+            del self._credential_cache[principal]
 
     # ------------------------------------------------------------------
     # Control thread

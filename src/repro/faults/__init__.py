@@ -1,0 +1,25 @@
+"""Fault injection for chaos experiments (gray failures included).
+
+Build a :class:`FaultPlan` declaratively, then hand it to a
+:class:`ChaosController` to execute on the simulation kernel::
+
+    plan = (FaultPlan()
+            .degrade_host("svc1", at=10, duration=15, latency_mult=2000)
+            .flaky_link("users", "svc1", at=25, duration=10, peak_loss=0.9)
+            .crash_host("svc2", at=35, restart_after=7))
+    ChaosController(env.net, plan).start()
+
+The resilient RPC layer (:mod:`repro.core.policy`) is the counterpart:
+these faults are what its deadlines, retries, and breakers are measured
+against in the chaos experiment (``benchmarks/bench_chaos.py``).
+"""
+
+from repro.faults.controller import ChaosController
+from repro.faults.plan import FaultPlan, FaultSpec, flaky_loss_at
+
+__all__ = [
+    "ChaosController",
+    "FaultPlan",
+    "FaultSpec",
+    "flaky_loss_at",
+]

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -57,6 +57,84 @@ class LatencyRecorder:
 
     def __len__(self) -> int:
         return len(self.samples)
+
+
+@dataclass
+class RpcStats:
+    """Counters for the resilient RPC layer (deadlines/retries/breakers).
+
+    One instance lives on every :class:`~repro.core.policy.ResilienceRegistry`
+    so an experiment can snapshot how much shedding and retrying the client
+    layer did during a fault schedule.
+    """
+
+    calls: int = 0
+    successes: int = 0
+    failures: int = 0
+    retries: int = 0
+    deadline_expired: int = 0
+    breaker_rejected: int = 0
+    breaker_trips: int = 0
+    breaker_resets: int = 0
+    lookup_fallbacks: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "calls": self.calls,
+            "successes": self.successes,
+            "failures": self.failures,
+            "retries": self.retries,
+            "deadline_expired": self.deadline_expired,
+            "breaker_rejected": self.breaker_rejected,
+            "breaker_trips": self.breaker_trips,
+            "breaker_resets": self.breaker_resets,
+            "lookup_fallbacks": self.lookup_fallbacks,
+        }
+
+
+class AvailabilityRecorder:
+    """Time-bucketed success/failure counts for availability timelines.
+
+    ``record(t, ok)`` files one completed request into the bucket containing
+    ``t``; ``series()`` yields ``(bucket_start, availability, count)`` rows,
+    which is what the chaos experiment plots and asserts recovery shape on.
+    """
+
+    def __init__(self, bucket: float = 1.0):
+        if bucket <= 0:
+            raise ValueError(f"bucket must be positive, got {bucket}")
+        self.bucket = float(bucket)
+        self._ok: Dict[int, int] = {}
+        self._total: Dict[int, int] = {}
+
+    def record(self, t: float, ok: bool) -> None:
+        idx = int(t // self.bucket)
+        self._total[idx] = self._total.get(idx, 0) + 1
+        if ok:
+            self._ok[idx] = self._ok.get(idx, 0) + 1
+
+    def series(self) -> List[Tuple[float, float, int]]:
+        rows = []
+        for idx in sorted(self._total):
+            total = self._total[idx]
+            rows.append((idx * self.bucket, self._ok.get(idx, 0) / total, total))
+        return rows
+
+    def availability_between(self, t0: float, t1: float) -> float:
+        """Success fraction over [t0, t1); 1.0 when no requests completed."""
+        ok = total = 0
+        for idx, n in self._total.items():
+            start = idx * self.bucket
+            if t0 <= start < t1:
+                total += n
+                ok += self._ok.get(idx, 0)
+        return ok / total if total else 1.0
+
+    def delivered_between(self, t0: float, t1: float) -> int:
+        """Successful requests completed in [t0, t1)."""
+        return sum(
+            n for idx, n in self._ok.items() if t0 <= idx * self.bucket < t1
+        )
 
 
 class ResultTable:

@@ -54,6 +54,9 @@ class Host:
         self._busy_mark: Optional[float] = None
         self._window_start = 0.0
         self._epoch = 0  # bumped on each crash so stale work notices
+        # Gray-failure degradation: >1 means this host's NIC/stack is slower.
+        self.latency_mult = 1.0
+        self.bandwidth_mult = 1.0
 
     # -- liveness ----------------------------------------------------------
     @property
@@ -76,10 +79,33 @@ class Host:
         self._busy_accum = 0.0
         self._busy_mark = None
         self._window_start = self.sim.now
+        self.restore_performance()
 
     def check_up(self) -> None:
         if not self._up:
             raise HostDownError(self.name)
+
+    # -- gray failure (degraded host) --------------------------------------
+    @property
+    def degraded(self) -> bool:
+        return self.latency_mult != 1.0 or self.bandwidth_mult != 1.0
+
+    def degrade(self, latency_mult: float = 1.0, bandwidth_mult: float = 1.0) -> None:
+        """Make this host's networking slow without taking it down — the
+        gray-failure mode leases and restart managers cannot see.
+
+        Multipliers scale *time*: ``latency_mult=10`` means every message
+        touching this host takes 10× the path latency; ``bandwidth_mult=4``
+        means sends from it serialize 4× slower.
+        """
+        if latency_mult <= 0 or bandwidth_mult <= 0:
+            raise ValueError("degradation multipliers must be positive")
+        self.latency_mult = latency_mult
+        self.bandwidth_mult = bandwidth_mult
+
+    def restore_performance(self) -> None:
+        self.latency_mult = 1.0
+        self.bandwidth_mult = 1.0
 
     # -- CPU work ----------------------------------------------------------
     def execute(self, bogomips_seconds: float) -> Generator:

@@ -22,6 +22,14 @@ Fault model
   across the cut raise ``ConnectionRefused`` after the connect timeout.
 * ``loss_rate`` — i.i.d. datagram loss from the ``net.loss`` RNG stream
   (streams are reliable, as TCP would retransmit under the covers).
+* **degraded hosts** (gray failure) — ``Host.degrade(latency_mult,
+  bandwidth_mult)`` slows every message touching that host without taking
+  it down; leases keep renewing, so only client-side deadlines notice.
+* **flaky links** (gray failure) — ``set_link_fault(a, b, loss)`` drops a
+  fraction of messages between two hosts.  Unlike ``loss_rate`` this also
+  applies to *stream* payloads, modelling a path so lossy that TCP stalls
+  past any reasonable RPC budget; the dropped message simply never
+  arrives and the caller's deadline is what ends the wait.
 """
 
 from __future__ import annotations
@@ -55,6 +63,8 @@ class TrafficStats:
         self.bytes_lan = 0
         self.bytes_backbone = 0
         self.dropped = 0
+        #: subset of ``dropped`` caused by injected link faults (chaos runs)
+        self.dropped_fault = 0
 
     @property
     def bytes_total(self) -> int:
@@ -68,6 +78,7 @@ class TrafficStats:
             "bytes_backbone": self.bytes_backbone,
             "bytes_total": self.bytes_total,
             "dropped": self.dropped,
+            "dropped_fault": self.dropped_fault,
         }
 
 
@@ -104,6 +115,7 @@ class Network:
         self._datagram: Dict[Address, DatagramSocket] = {}
         self._multicast: Dict[Address, Set[DatagramSocket]] = {}
         self._partition: Optional[Dict[str, int]] = None
+        self._link_faults: Dict[tuple, float] = {}
         self._next_port: Dict[str, int] = {}
         self._jitter_rng = self.rng.py("net.jitter")
         self._loss_rng = self.rng.py("net.loss")
@@ -180,6 +192,43 @@ class Network:
         return self._partition[src.name] == self._partition[dst.name]
 
     # ------------------------------------------------------------------
+    # Flaky links (gray failure)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _link_key(a: str, b: str) -> tuple:
+        return (a, b) if a <= b else (b, a)
+
+    def set_link_fault(self, a: str, b: str, loss: float) -> None:
+        """Drop ``loss`` fraction of messages between hosts ``a`` and ``b``
+        (both directions).  Unlike ``loss_rate``, stream payloads are
+        dropped too — the gray-failure mode where TCP stalls forever."""
+        self.host(a), self.host(b)  # validate
+        if not 0.0 <= loss <= 1.0:
+            raise NetworkError(f"link loss must be in [0, 1], got {loss}")
+        key = self._link_key(a, b)
+        if loss <= 0.0:
+            self._link_faults.pop(key, None)
+        else:
+            self._link_faults[key] = loss
+        self.trace.emit(self.sim.now, "network", "link-fault", a=a, b=b, loss=loss)
+
+    def clear_link_fault(self, a: str, b: str) -> None:
+        self._link_faults.pop(self._link_key(a, b), None)
+        self.trace.emit(self.sim.now, "network", "link-fault-heal", a=a, b=b)
+
+    def link_fault(self, a: str, b: str) -> float:
+        return self._link_faults.get(self._link_key(a, b), 0.0)
+
+    def _link_dropped(self, src: Host, dst: Host) -> bool:
+        """Roll for an injected link-fault drop on a src→dst message."""
+        loss = self._link_faults.get(self._link_key(src.name, dst.name), 0.0)
+        if loss > 0 and self._loss_rng.random() < loss:
+            self.stats.dropped += 1
+            self.stats.dropped_fault += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
     # Latency / accounting
     # ------------------------------------------------------------------
     def _path_latency(self, src: Host, dst: Host) -> float:
@@ -189,6 +238,8 @@ class Network:
             base = self.lan_latency
         else:
             base = self.lan_latency + self.backbone_latency
+        # Degraded hosts slow every message touching them (gray failure).
+        base *= src.latency_mult * dst.latency_mult
         if self.jitter_frac > 0:
             base *= 1.0 + self.jitter_frac * self._jitter_rng.random()
         return base
@@ -202,8 +253,8 @@ class Network:
         else:
             self.stats.bytes_backbone += nbytes
 
-    def _transmit_delay(self, nbytes: int) -> float:
-        return nbytes / self.bandwidth_Bps
+    def _transmit_delay(self, src: Host, nbytes: int) -> float:
+        return nbytes / self.bandwidth_Bps * src.bandwidth_mult
 
     # ------------------------------------------------------------------
     # Stream sockets
@@ -254,12 +305,14 @@ class Network:
 
     def _stream_transmit(self, conn: Connection, payload: Any) -> Generator:
         nbytes = wire_size(payload)
-        yield self.sim.timeout(self._transmit_delay(nbytes))
+        yield self.sim.timeout(self._transmit_delay(conn.host, nbytes))
         peer = conn.peer
         assert peer is not None
         dst_host = peer.host
         if not self._reachable(conn.host, dst_host):
             self.stats.dropped += 1
+            return
+        if self._link_dropped(conn.host, dst_host):
             return
         self._account(conn.host, dst_host, nbytes)
         arrival = self.sim.now + self._path_latency(conn.host, dst_host)
@@ -307,7 +360,7 @@ class Network:
 
     def _datagram_transmit(self, sock: DatagramSocket, dest: Address, payload: Any) -> Generator:
         nbytes = wire_size(payload)
-        yield self.sim.timeout(self._transmit_delay(nbytes))
+        yield self.sim.timeout(self._transmit_delay(sock.host, nbytes))
         self._datagram_route(sock, dest, payload, nbytes)
 
     def _datagram_route(self, sock: DatagramSocket, dest: Address, payload: Any, nbytes: int) -> None:
@@ -317,6 +370,8 @@ class Network:
             return
         if self.loss_rate > 0 and self._loss_rng.random() < self.loss_rate:
             self.stats.dropped += 1
+            return
+        if self._link_dropped(sock.host, dst_host):
             return
         self._account(sock.host, dst_host, nbytes)
         delivery = self.sim.timeout(self._path_latency(sock.host, dst_host))
@@ -342,7 +397,7 @@ class Network:
 
     def _multicast_transmit(self, sock: DatagramSocket, group: Address, payload: Any) -> Generator:
         nbytes = wire_size(payload)
-        yield self.sim.timeout(self._transmit_delay(nbytes))
+        yield self.sim.timeout(self._transmit_delay(sock.host, nbytes))
         members = sorted(self._multicast.get(group, ()), key=lambda s: str(s.address))
         source = sock.address
         for member in members:
@@ -353,6 +408,8 @@ class Network:
                 continue
             if self.loss_rate > 0 and self._loss_rng.random() < self.loss_rate:
                 self.stats.dropped += 1
+                continue
+            if self._link_dropped(sock.host, member.host):
                 continue
             self._account(sock.host, member.host, nbytes)
             delivery = self.sim.timeout(self._path_latency(sock.host, member.host))

@@ -18,10 +18,33 @@ from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional
 
 from repro.lang import ACECmdLine, ArgSpec, ArgType, CommandSemantics
-from repro.net import Address
+from repro.net import Address, ConnectionClosed, ConnectionRefused
 from repro.core.client import CallError, ServiceClient
 from repro.core.daemon import ACEDaemon, Request, ServiceError
 from repro.core.leases import LeaseTable
+from repro.core.policy import CallPolicy
+
+
+def _escape_field(value: str) -> str:
+    """Make a record field safe around the ``|`` wire delimiter."""
+    return value.replace("\\", "\\\\").replace("|", "\\|")
+
+
+def _split_wire(text: str) -> List[str]:
+    """Split on unescaped ``|`` and undo the escaping."""
+    fields: List[str] = []
+    current: List[str] = []
+    it = iter(text)
+    for ch in it:
+        if ch == "\\":
+            current.append(next(it, ""))
+        elif ch == "|":
+            fields.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    fields.append("".join(current))
+    return fields
 
 
 @dataclass(frozen=True)
@@ -39,11 +62,14 @@ class ServiceRecord:
         return Address(self.host, self.port)
 
     def to_wire(self) -> str:
-        return f"{self.name}|{self.host}|{self.port}|{self.room}|{self.cls}"
+        return "|".join(
+            _escape_field(str(part))
+            for part in (self.name, self.host, self.port, self.room, self.cls)
+        )
 
     @classmethod
     def from_wire(cls, text: str) -> "ServiceRecord":
-        name, host, port, room, klass = text.split("|")
+        name, host, port, room, klass = _split_wire(text)
         return cls(name, host, int(port), room, klass)
 
     def matches_class(self, cls_query: str) -> bool:
@@ -170,6 +196,17 @@ class ServiceDirectoryDaemon(ACEDaemon):
         return result
 
 
+#: Lookups are latency-sensitive but easy to retry: short attempts, tight
+#: deadline, and the shared per-address breaker sheds load from a dead ASD.
+LOOKUP_POLICY = CallPolicy(
+    deadline=3.0,
+    attempt_timeout=1.0,
+    max_attempts=3,
+    backoff_base=0.05,
+    backoff_max=0.5,
+)
+
+
 def asd_lookup(
     client: ServiceClient,
     asd_address: Address,
@@ -177,11 +214,19 @@ def asd_lookup(
     name: Optional[str] = None,
     cls: Optional[str] = None,
     room: Optional[str] = None,
+    policy: Optional[CallPolicy] = None,
+    use_cache: bool = True,
 ) -> Generator:
     """Convenience: query the ASD, return a list of :class:`ServiceRecord`.
 
     This is the Fig. 7 client flow: ask the well-known ASD socket, get back
     machine:port addresses, connect directly.
+
+    Calls ride the resilient RPC policy (deadline, retries, breaker).  When
+    the ASD is unreachable and ``use_cache`` is set, the last non-empty
+    result for the same query is returned instead of raising — stale
+    addresses beat no addresses, and a dead endpoint in the cached list is
+    caught by the caller's own connect failure.
     """
     args = {}
     if name is not None:
@@ -190,9 +235,29 @@ def asd_lookup(
         args["cls"] = cls
     if room is not None:
         args["room"] = room
-    reply = yield from client.call_once(asd_address, ACECmdLine("lookup", args))
+    registry = client.ctx.resilience
+    key = (str(asd_address), name or "", cls or "", room or "")
+    try:
+        reply = yield from client.call_resilient(
+            asd_address, ACECmdLine("lookup", args), policy=policy or LOOKUP_POLICY
+        )
+    except (CallError, ConnectionClosed, ConnectionRefused):
+        cached = registry.recall_lookup(key) if use_cache else None
+        if cached is None:
+            raise
+        registry.stats.lookup_fallbacks += 1
+        client.ctx.trace.emit(
+            client.ctx.sim.now, client.principal, "lookup-fallback",
+            asd=str(asd_address), records=len(cached),
+        )
+        return list(cached)
     wires = reply.get("services", ())
-    return [ServiceRecord.from_wire(w) for w in (wires if isinstance(wires, tuple) else ())]
+    records = [
+        ServiceRecord.from_wire(w) for w in (wires if isinstance(wires, tuple) else ())
+    ]
+    if use_cache and records:
+        registry.remember_lookup(key, records)
+    return records
 
 
 def asd_lookup_one(client, asd_address, **query) -> Generator:

@@ -19,7 +19,32 @@ from repro.net.host import Host, HostDownError
 
 from repro.core.client import CallError, ServiceClient
 from repro.core.context import DaemonContext
+from repro.core.policy import BreakerOpen, CallPolicy, DeadlineExceeded, TransportError
 from repro.store.namespace import decode_attrs, encode_attrs
+
+
+#: Per-replica call policy.  ``max_attempts=1`` because failover across
+#: replicas *is* the retry; the deadline bounds how long a slow (degraded,
+#: not dead) replica can stall a caller, and the breaker skips replicas
+#: that keep failing without waiting out a connect timeout each time.
+STORE_CALL_POLICY = CallPolicy(
+    deadline=2.5,
+    attempt_timeout=1.5,
+    max_attempts=1,
+    breaker_threshold=3,
+    breaker_reset=5.0,
+)
+
+#: Failures that mean "try the next replica" — anything transport-shaped.
+#: A plain ``CallError`` (cmdFailed) propagates: the replica answered.
+_FAILOVER_ERRORS = (
+    ConnectionClosed,
+    ConnectionRefused,
+    HostDownError,
+    TransportError,
+    DeadlineExceeded,
+    BreakerOpen,
+)
 
 
 class StoreUnavailable(Exception):
@@ -36,12 +61,14 @@ class StoreClient:
         replicas: List[Address],
         principal: str = "store-client",
         balance_reads: bool = True,
+        policy: Optional[CallPolicy] = None,
     ):
         if not replicas:
             raise ValueError("need at least one replica address")
         self.ctx = ctx
         self.replicas = list(replicas)
         self.balance_reads = balance_reads
+        self.policy = policy or STORE_CALL_POLICY
         self._client = ServiceClient(ctx, host, principal=principal)
         self._read_index = 0
 
@@ -50,9 +77,11 @@ class StoreClient:
         last_error: Optional[Exception] = None
         for replica in order:
             try:
-                reply = yield from self._client.call_once(replica, command, attach=False)
+                reply = yield from self._client.call_resilient(
+                    replica, command, policy=self.policy, attach=False
+                )
                 return reply
-            except (ConnectionClosed, ConnectionRefused, HostDownError) as exc:
+            except _FAILOVER_ERRORS as exc:
                 last_error = exc
                 continue
         raise StoreUnavailable(f"all replicas failed for {command.name}: {last_error}")
@@ -89,15 +118,13 @@ class StoreClient:
         last_error: Optional[Exception] = None
         for replica in order:
             try:
-                conn = yield from self._client.connect(replica, attach=False)
-                try:
-                    reply = yield from conn.call(command, check=False)
-                finally:
-                    conn.close()
+                reply = yield from self._client.call_resilient(
+                    replica, command, policy=self.policy, check=False, attach=False
+                )
                 if reply.name != "cmdOk":
                     return None
                 return reply
-            except (ConnectionClosed, ConnectionRefused, HostDownError) as exc:
+            except _FAILOVER_ERRORS as exc:
                 last_error = exc
                 continue
         raise StoreUnavailable(f"all replicas failed for {command.name}: {last_error}")

@@ -1,5 +1,6 @@
 """Workload generators for the benchmark harness."""
 
+from repro.workloads.chaos import CallRecord, ChaosRunResult, run_chaos_workload
 from repro.workloads.clients import (
     closed_loop_clients,
     open_loop_arrivals,
@@ -7,7 +8,10 @@ from repro.workloads.clients import (
 )
 
 __all__ = [
+    "CallRecord",
+    "ChaosRunResult",
     "closed_loop_clients",
     "open_loop_arrivals",
+    "run_chaos_workload",
     "user_session_workload",
 ]

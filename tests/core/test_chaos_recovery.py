@@ -1,0 +1,99 @@
+"""Deterministic seeded chaos run asserting the E21 recovery shape.
+
+A miniature version of ``benchmarks/bench_chaos.py``: two echo services,
+a fault plan that degrades the primary (gray), crashes the secondary, and
+makes the client link flaky, with the resilient workload on top.  Asserts
+the acceptance criteria: availability dips then recovers, breakers trip
+and shed load, no caller is ever stuck past its deadline budget, and the
+whole run is bit-for-bit reproducible from the seed.
+"""
+
+from repro.core.policy import CallPolicy
+from repro.faults import ChaosController, FaultPlan
+from repro.workloads import run_chaos_workload
+
+from tests.core.conftest import AceFixture, EchoDaemon
+
+POLICY = CallPolicy(
+    deadline=1.0, attempt_timeout=0.4, max_attempts=2,
+    backoff_base=0.05, backoff_max=0.2, backoff_jitter=0.5,
+    breaker_threshold=3, breaker_reset=2.0,
+)
+
+
+def run_once(seed=7):
+    ace = AceFixture(seed=seed, lease_duration=10.0).boot()
+    svc1 = ace.net.make_host("svc1", room="lab")
+    svc2 = ace.net.make_host("svc2", room="lab")
+    users = ace.net.make_host("users", room="lab")
+    primary = EchoDaemon(ace.ctx, "echo.svc1", svc1, room="lab")
+    secondary = EchoDaemon(ace.ctx, "echo.svc2", svc2, room="lab")
+    for daemon in (primary, secondary):
+        daemon.start()
+    ace.sim.run(until=ace.sim.now + 1.0)
+
+    def relaunch_secondary():
+        reborn = EchoDaemon(
+            ace.ctx, "echo.svc2b", svc2, room="lab", port=secondary.address.port
+        )
+        reborn.start()
+
+    plan = (
+        FaultPlan()
+        # Gray failure: primary gets 100000x slower but stays registered.
+        .degrade_host("svc1", at=5.0, duration=10.0, latency_mult=1e5)
+        # Overlapping clean failure: secondary dies, restarts later.
+        .crash_host("svc2", at=10.0, restart_after=10.0, relaunch=relaunch_secondary)
+        # Gray failure: the client-primary link turns flaky after the heals.
+        .flaky_link("users", "svc1", at=22.0, duration=6.0, peak_loss=0.9)
+    )
+    t0 = ace.sim.now
+    ChaosController(ace.net, plan).start()
+    result = run_chaos_workload(
+        ace,
+        n_clients=6,
+        duration=30.0,
+        primary=primary.address,
+        secondary=secondary.address,
+        policy=POLICY,
+        resilient=True,
+        think_time=0.2,
+        client_host_name="users",
+        grace=5.0,
+    )
+    return ace, result, t0
+
+
+def test_chaos_recovery_shape():
+    ace, result, t0 = run_once()
+    stats = ace.ctx.resilience.stats
+
+    # No caller hangs: every call completed, bounded by primary+secondary
+    # deadlines (plus instant breaker rejections and scheduling slop).
+    assert result.hung == 0
+    assert result.completed > 200
+    assert result.max_elapsed <= 2 * POLICY.deadline * 1.2
+
+    # Availability dips while both targets are broken, then recovers.
+    pre = result.availability_between(t0, t0 + 5.0)
+    fault = result.availability_between(t0 + 11.0, t0 + 15.0)
+    post = result.availability_between(t0 + 18.0, t0 + 22.0)
+    assert pre >= 0.95
+    assert fault < 0.5 < pre
+    assert post >= 0.90
+    assert post > fault
+
+    # The resilient layer actually did its job, not just got lucky.
+    assert stats.deadline_expired > 0    # gray failure seen by deadlines
+    assert stats.retries > 0
+    assert stats.breaker_trips >= 1      # dead/slow endpoints tripped
+    assert stats.breaker_rejected > 0    # ...and subsequent calls were shed
+    assert stats.breaker_resets >= 1     # ...and breakers re-closed on heal
+
+
+def test_chaos_run_is_deterministic():
+    _, first, _ = run_once(seed=11)
+    _, second, _ = run_once(seed=11)
+    key = lambda result: [(r.client, r.start, r.elapsed, r.ok) for r in result.records]
+    assert key(first) == key(second)
+    assert first.hung == second.hung

@@ -63,6 +63,36 @@ def test_bad_duration():
         LeaseTable(0.0)
 
 
+# -- boundary conditions -----------------------------------------------------
+
+def test_renewal_exactly_at_expiry_refused():
+    """``valid_at`` is strictly ``<``: a renewal arriving at the exact
+    expiry instant is too late and must re-register."""
+    table = LeaseTable(10.0)
+    lease = table.grant("svc", now=0.0)
+    assert not lease.valid_at(10.0)
+    assert table.renew("svc", now=10.0) is None
+    # Refusal does not remove the entry; the next sweep purges it.
+    assert "svc" in table
+    assert table.expire(now=10.0) == ["svc"]
+    assert "svc" not in table
+
+
+def test_regrant_same_tick_as_expiry():
+    """A name whose lease lapses at time T can be re-registered at T: the
+    fresh grant overwrites the stale lease and survives the same-tick
+    sweep (no spurious expiry callback for the reborn holder)."""
+    expired = []
+    table = LeaseTable(10.0, on_expire=expired.append)
+    table.grant("svc", now=0.0)
+    fresh = table.grant("svc", now=10.0)  # re-register at the expiry instant
+    assert table.expire(now=10.0) == []
+    assert expired == []
+    assert fresh.valid_at(19.9) and not fresh.valid_at(20.0)
+    assert fresh.renewals == 0
+    assert table.renew("svc", now=15.0) is not None
+
+
 # -- integration ----------------------------------------------------------------
 
 def test_crashed_service_purged_after_lease(ace_with_echo):

@@ -1,0 +1,210 @@
+"""Tests for the resilient RPC layer: deadlines, retries, circuit
+breakers, lookup fallback, and credential-cache eviction."""
+
+import pytest
+
+from repro.core.policy import (
+    CLOSED,
+    OPEN,
+    BreakerOpen,
+    CallPolicy,
+    CircuitBreaker,
+    DeadlineExceeded,
+)
+from repro.lang import ACECmdLine
+from repro.net import ConnectionRefused
+from repro.services.asd import asd_lookup
+
+from tests.core.conftest import AceFixture, EchoDaemon
+
+
+# -- CircuitBreaker unit ------------------------------------------------------
+
+def test_breaker_state_machine():
+    b = CircuitBreaker(threshold=2, reset=5.0)
+    assert b.allow(0.0)
+    assert not b.record_failure(1.0)
+    assert b.record_failure(2.0)  # second failure trips it
+    assert b.state == OPEN and b.trips == 1
+    assert not b.allow(3.0)          # still open
+    assert b.allow(7.0)              # reset elapsed: half-open probe admitted
+    assert not b.allow(7.1)          # ...but only one probe at a time
+    assert not b.record_failure(7.5)  # probe failed: re-open, not a new trip
+    assert not b.allow(8.0)
+    assert b.allow(12.6)
+    assert b.record_success()        # probe succeeded: re-closed
+    assert b.state == CLOSED and b.failures == 0
+
+
+def test_breaker_disabled_when_threshold_zero():
+    b = CircuitBreaker(threshold=0, reset=5.0)
+    for t in range(10):
+        assert not b.record_failure(float(t))
+    assert b.allow(100.0)
+    assert b.state == CLOSED
+
+
+def test_backoff_delay_grows_and_caps():
+    policy = CallPolicy(backoff_base=0.1, backoff_max=0.4, backoff_jitter=0.0)
+    import random
+    rng = random.Random(1)
+    delays = [policy.backoff_delay(a, rng) for a in (1, 2, 3, 4)]
+    assert delays == [0.1, 0.2, 0.4, 0.4]
+
+
+# -- deadlines ----------------------------------------------------------------
+
+def test_deadline_bounds_slow_call(ace_with_echo):
+    """A call to a healthy-but-slow endpoint fails at the deadline instead
+    of hanging for the service's 30 s — the gray-failure antidote."""
+    ace, echo = ace_with_echo
+    policy = CallPolicy(
+        deadline=1.0, attempt_timeout=0.4, max_attempts=3,
+        backoff_base=0.02, backoff_max=0.05, breaker_threshold=0,
+    )
+
+    def scenario():
+        client = ace.client(principal="deadline-tester")
+        yield from client.call_resilient(
+            echo.address,
+            ACECmdLine("slowEcho", text="x", delay=30.0),
+            policy=policy,
+        )
+
+    t0 = ace.sim.now
+    with pytest.raises(DeadlineExceeded):
+        ace.run(scenario())
+    elapsed = ace.sim.now - t0
+    assert elapsed <= policy.deadline * 1.2  # bounded, with backoff slop
+    assert ace.ctx.resilience.stats.deadline_expired > 0
+
+
+# -- retries ------------------------------------------------------------------
+
+def test_retry_recovers_after_link_heals(ace_with_echo):
+    """Full loss on the client-service link stalls early attempts; once the
+    link heals mid-call, a retry succeeds within the deadline."""
+    ace, echo = ace_with_echo
+    ace.net.set_link_fault("infra", "bar", 1.0)
+
+    def heal():
+        yield ace.sim.timeout(0.6)
+        ace.net.clear_link_fault("infra", "bar")
+
+    ace.sim.process(heal())
+    policy = CallPolicy(
+        deadline=10.0, attempt_timeout=0.25, max_attempts=8,
+        backoff_base=0.05, backoff_max=0.2, breaker_threshold=0,
+    )
+    retries_before = ace.ctx.resilience.stats.retries
+
+    def scenario():
+        client = ace.client(principal="retry-tester")
+        reply = yield from client.call_resilient(
+            echo.address, ACECmdLine("echo", text="hi"), policy=policy
+        )
+        return reply
+
+    reply = ace.run(scenario())
+    assert reply["text"] == "hi"
+    assert ace.ctx.resilience.stats.retries > retries_before
+
+
+# -- circuit breaker against a dead endpoint ----------------------------------
+
+def test_breaker_opens_sheds_and_recovers():
+    ace = AceFixture().boot()
+    host = ace.net.make_host("bar", room="hawk")
+    echo = EchoDaemon(ace.ctx, "echo1", host, room="hawk")
+    echo.start()
+    ace.sim.run(until=ace.sim.now + 1.0)
+    address = echo.address
+    policy = CallPolicy(
+        deadline=3.0, attempt_timeout=2.0, max_attempts=1,
+        breaker_threshold=2, breaker_reset=1.0,
+    )
+
+    def one_call():
+        client = ace.client(principal="breaker-tester")
+        reply = yield from client.call_resilient(
+            address, ACECmdLine("echo", text="x"), policy=policy
+        )
+        return reply
+
+    ace.net.crash_host("bar")
+    stats = ace.ctx.resilience.stats
+    for _ in range(2):  # threshold failures trip the breaker
+        with pytest.raises(ConnectionRefused):
+            ace.run(one_call())
+    assert stats.breaker_trips == 1
+    breaker = ace.ctx.resilience.breaker(address, policy)
+    assert breaker.state == OPEN
+
+    # While open: instant rejection, no sim time burned on the dead host.
+    t0 = ace.sim.now
+    with pytest.raises(BreakerOpen):
+        ace.run(one_call())
+    assert ace.sim.now == t0
+    assert stats.breaker_rejected == 1
+
+    # Host comes back; after the reset period the half-open probe re-closes.
+    ace.net.restart_host("bar")
+    relaunched = EchoDaemon(ace.ctx, "echo1b", host, room="hawk", port=address.port)
+    relaunched.start()
+    ace.sim.run(until=ace.sim.now + 1.5)
+    reply = ace.run(one_call())
+    assert reply["text"] == "x"
+    assert breaker.state == CLOSED
+    assert stats.breaker_resets >= 1
+
+
+# -- ASD lookup fallback ------------------------------------------------------
+
+def test_asd_lookup_falls_back_to_cached_records():
+    ace = AceFixture().boot()
+    host = ace.net.make_host("bar", room="hawk")
+    echo = EchoDaemon(ace.ctx, "echo1", host, room="hawk")
+    echo.start()
+    ace.sim.run(until=ace.sim.now + 1.0)
+    client = ace.client(host=host, principal="lookup-tester")
+
+    def lookup():
+        records = yield from asd_lookup(client, ace.ctx.asd_address, cls="Echo")
+        return records
+
+    records = ace.run(lookup())
+    assert [r.name for r in records] == ["echo1"]
+
+    ace.net.crash_host("infra")  # the ASD host itself goes down
+    fallback = ace.run(lookup(), timeout=120.0)
+    assert [r.name for r in fallback] == ["echo1"]
+    assert fallback[0].address == echo.address
+    assert ace.ctx.resilience.stats.lookup_fallbacks == 1
+
+    def lookup_uncached():
+        return (yield from asd_lookup(
+            client, ace.ctx.asd_address, cls="Echo", use_cache=False
+        ))
+
+    with pytest.raises(Exception):
+        ace.run(lookup_uncached(), timeout=120.0)
+
+
+# -- credential cache eviction ------------------------------------------------
+
+def test_credential_cache_ttl_eviction(ace_with_echo):
+    ace, echo = ace_with_echo
+    ttl = max(ace.ctx.security.credential_cache_ttl, 0.0)
+    now = ace.ctx.lease_duration + ttl + 100.0
+    echo._credential_cache["stale"] = (0.0, [])
+    echo._credential_cache["fresh"] = (now, [])
+    echo._evict_stale_credentials(now)
+    assert "stale" not in echo._credential_cache
+    assert "fresh" in echo._credential_cache
+    # Sweeps are rate-limited to one per lease duration...
+    echo._credential_cache["stale2"] = (0.0, [])
+    echo._evict_stale_credentials(now + 0.1)
+    assert "stale2" in echo._credential_cache
+    # ...and run again once a lease period has passed.
+    echo._evict_stale_credentials(now + ace.ctx.lease_duration + 0.1)
+    assert "stale2" not in echo._credential_cache

@@ -1,0 +1,212 @@
+"""Tests for the fault-injection subsystem: FaultPlan, ChaosController,
+degraded hosts, and flaky links."""
+
+import pytest
+
+from repro.faults import ChaosController, FaultPlan, flaky_loss_at
+from repro.net import Address, Network, NetworkError
+from repro.sim import RngRegistry, Simulator
+
+
+def make_net(**kw):
+    sim = Simulator()
+    net = Network(sim, RngRegistry(1), **kw)
+    net.make_host("alpha", segment="east")
+    net.make_host("beta", segment="east")
+    net.make_host("gamma", segment="west")
+    return sim, net
+
+
+def echo_server(net, host_name, port):
+    listener = net.listen(net.host(host_name), port)
+
+    def run():
+        while True:
+            conn = yield from listener.accept()
+            msg = yield from conn.recv()
+            yield from conn.send(("echo", msg))
+            conn.close()
+
+    return run
+
+
+def roundtrip(sim, net, src="alpha", dst="beta", port=5000):
+    def client():
+        t0 = sim.now
+        conn = yield from net.connect(net.host(src), Address(dst, port))
+        yield from conn.send("ping")
+        yield from conn.recv()
+        conn.close()
+        return sim.now - t0
+
+    return sim.run_process(client())
+
+
+# -- FaultPlan ----------------------------------------------------------------
+
+def test_plan_validation():
+    plan = FaultPlan()
+    with pytest.raises(ValueError):
+        plan.crash_host("alpha", at=-1.0)
+    with pytest.raises(ValueError):
+        plan.loss_burst(1.5, at=0.0, duration=1.0)
+    with pytest.raises(ValueError):
+        plan.flaky_link("a", "b", at=0.0, duration=1.0, peak_loss=0.0)
+    with pytest.raises(ValueError):
+        plan.flaky_link("a", "b", at=0.0, duration=1.0, peak_loss=0.5, profile="saw")
+    with pytest.raises(ValueError):
+        plan.degrade_host("a", at=1.0, duration=-2.0)
+    assert len(plan) == 0
+
+
+def test_plan_ordering_and_end_offset():
+    plan = (
+        FaultPlan()
+        .crash_host("beta", at=30.0, restart_after=5.0)
+        .degrade_host("alpha", at=10.0, duration=15.0, latency_mult=10.0)
+        .loss_burst(0.3, at=5.0, duration=2.0)
+    )
+    assert [s.kind for s in plan.ordered()] == ["loss", "degrade", "crash"]
+    assert plan.end_offset == 35.0
+
+
+def test_flaky_loss_profile_shape():
+    steps = 8
+    levels = [flaky_loss_at(0.8, steps, "triangle", i) for i in range(steps)]
+    assert all(level > 0 for level in levels)
+    assert max(levels) < 0.8  # sampled at step centres, peak between steps
+    assert levels == levels[::-1]  # symmetric ramp up then down
+    assert levels[0] < levels[steps // 2 - 1]
+    assert flaky_loss_at(0.8, 4, "constant", 2) == 0.8
+    assert flaky_loss_at(0.8, 1, "triangle", 0) == 0.8
+
+
+# -- degraded hosts -----------------------------------------------------------
+
+def test_degraded_host_slows_roundtrip():
+    sim, net = make_net()
+    sim.process(echo_server(net, "beta", 5000)())
+    baseline = roundtrip(sim, net)
+    net.host("beta").degrade(latency_mult=50.0)
+    degraded = roundtrip(sim, net)
+    assert degraded > baseline * 10
+    net.host("beta").restore_performance()
+    recovered = roundtrip(sim, net)
+    assert recovered < baseline * 2
+
+
+def test_degrade_validation_and_restart_resets():
+    _, net = make_net()
+    host = net.host("alpha")
+    with pytest.raises(ValueError):
+        host.degrade(latency_mult=0.0)
+    host.degrade(latency_mult=3.0, bandwidth_mult=2.0)
+    assert host.degraded
+    net.crash_host("alpha")
+    net.restart_host("alpha")
+    assert not host.degraded  # a rebooted host comes back at full speed
+
+
+# -- flaky links --------------------------------------------------------------
+
+def test_link_fault_drops_streams_and_counts():
+    sim, net = make_net()
+    net.set_link_fault("alpha", "beta", 1.0)
+    listener = net.listen(net.host("beta"), 5000)
+    got = []
+
+    def server():
+        conn = yield from listener.accept()
+        got.append((yield from conn.recv()))
+
+    def client():
+        conn = yield from net.connect(net.host("alpha"), Address("beta", 5000))
+        yield from conn.send("doomed")
+
+    sim.process(server())
+    sim.process(client())
+    sim.run(until=5.0)
+    assert got == []  # payload dropped on the faulty link
+    assert net.stats.dropped_fault > 0
+    assert net.link_fault("beta", "alpha") == 1.0  # order-insensitive key
+    net.clear_link_fault("alpha", "beta")
+    assert net.link_fault("alpha", "beta") == 0.0
+
+
+def test_link_fault_validation():
+    _, net = make_net()
+    with pytest.raises(NetworkError):
+        net.set_link_fault("alpha", "nosuch", 0.5)
+    with pytest.raises(NetworkError):
+        net.set_link_fault("alpha", "beta", 1.5)
+    net.set_link_fault("alpha", "beta", 0.5)
+    net.set_link_fault("alpha", "beta", 0.0)  # <= 0 removes the fault
+    assert net.link_fault("alpha", "beta") == 0.0
+
+
+def test_link_fault_spares_other_pairs():
+    sim, net = make_net()
+    net.set_link_fault("alpha", "beta", 1.0)
+    sim.process(echo_server(net, "beta", 5000)())
+    assert roundtrip(sim, net, src="gamma") >= 0  # gamma-beta unaffected
+
+
+# -- ChaosController ----------------------------------------------------------
+
+def test_controller_crash_restart_with_relaunch():
+    sim, net = make_net()
+    relaunched = []
+    plan = FaultPlan().crash_host(
+        "beta", at=1.0, restart_after=2.0, relaunch=lambda: relaunched.append(sim.now)
+    )
+    controller = ChaosController(net, plan).start()
+    sim.run(until=0.5)
+    assert net.host("beta").up
+    sim.run(until=2.0)
+    assert not net.host("beta").up
+    assert controller.active_faults == 1
+    sim.run(until=4.0)
+    assert net.host("beta").up
+    assert relaunched == [3.0]
+    assert controller.active_faults == 0
+    assert [event for _, event in controller.history] == ["inject:crash", "heal:crash"]
+
+
+def test_controller_partition_and_heal():
+    sim, net = make_net()
+    plan = FaultPlan().partition([["alpha", "beta"], ["gamma"]], at=1.0, heal_after=2.0)
+    ChaosController(net, plan).start()
+    sim.run(until=2.0)
+    assert not net._reachable(net.host("alpha"), net.host("gamma"))
+    assert net._reachable(net.host("alpha"), net.host("beta"))
+    sim.run(until=4.0)
+    assert net._reachable(net.host("alpha"), net.host("gamma"))
+
+
+def test_controller_loss_burst_applies_and_reverts():
+    sim, net = make_net(loss_rate=0.01)
+    plan = FaultPlan().loss_burst(0.7, at=1.0, duration=2.0)
+    ChaosController(net, plan).start()
+    sim.run(until=2.0)
+    assert net.loss_rate == 0.7
+    sim.run(until=4.0)
+    assert net.loss_rate == 0.01  # previous rate restored, not zeroed
+
+
+def test_controller_degrade_and_flaky_schedules():
+    sim, net = make_net()
+    plan = (
+        FaultPlan()
+        .degrade_host("beta", at=1.0, duration=2.0, latency_mult=40.0)
+        .flaky_link("alpha", "beta", at=1.0, duration=2.0, peak_loss=0.9, steps=4)
+    )
+    controller = ChaosController(net, plan).start()
+    sim.run(until=2.0)
+    assert net.host("beta").degraded
+    assert 0.0 < net.link_fault("alpha", "beta") <= 0.9
+    sim.run(until=4.0)
+    assert not net.host("beta").degraded
+    assert net.link_fault("alpha", "beta") == 0.0
+    assert controller.active_faults == 0
+    heals = [event for _, event in controller.history if event.startswith("heal")]
+    assert sorted(heals) == ["heal:degrade", "heal:flaky"]

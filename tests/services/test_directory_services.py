@@ -17,6 +17,18 @@ def test_record_wire_roundtrip():
     assert ServiceRecord.from_wire(rec.to_wire()) == rec
 
 
+def test_record_wire_roundtrip_delimiter_in_fields():
+    """Regression: a ``|`` (or ``\\``) in a name or room used to corrupt
+    the wire encoding — from_wire would split mid-field."""
+    rec = ServiceRecord("cam|left", "bar", 1234, "hawk|annex", "Device/PTZ|odd")
+    assert ServiceRecord.from_wire(rec.to_wire()) == rec
+    rec = ServiceRecord("back\\slash", "bar", 1, "a|b\\c|", "cls")
+    assert ServiceRecord.from_wire(rec.to_wire()) == rec
+    # Plain records keep the plain encoding (wire compatibility).
+    plain = ServiceRecord("cam1", "bar", 7, "hawk", "Device")
+    assert plain.to_wire() == "cam1|bar|7|hawk|Device"
+
+
 def test_record_class_matching():
     rec = ServiceRecord("cam1", "bar", 1, "hawk", "ACEService/Device/PTZCamera/VCC3")
     assert rec.matches_class("PTZCamera")
