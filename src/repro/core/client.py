@@ -20,6 +20,8 @@ from repro.lang.command import is_error
 from repro.net import Address, Connection, ConnectionClosed, ConnectionRefused
 from repro.net.host import Host
 from repro.net.secure import SecureChannel, handshake_client
+from repro.obs import CLIENT as SPAN_CLIENT
+from repro.obs import inject
 from repro.security.crypto import KeyPair, sha256_hex
 
 from repro.core.context import DaemonContext, SecurityMode
@@ -47,11 +49,19 @@ def channel_binding(channel: Channel) -> str:
 
 
 class ServiceConnection:
-    """An attached, ready-to-use channel to one daemon."""
+    """An attached, ready-to-use channel to one daemon.
 
-    def __init__(self, channel: Channel, principal: str):
+    When the owning :class:`ServiceClient` has a current span (an explicit
+    root started with :meth:`ServiceClient.begin_trace`, a bound span, or
+    the ambient per-process span), every :meth:`call` records a ``client``
+    span and injects its trace context into the outgoing command, so the
+    far daemon's execution joins the same causal tree.
+    """
+
+    def __init__(self, channel: Channel, principal: str, client: Optional["ServiceClient"] = None):
         self.channel = channel
         self.principal = principal
+        self._client = client
 
     @property
     def closed(self) -> bool:
@@ -63,21 +73,46 @@ class ServiceConnection:
         With ``check`` (default) a ``cmdFailed`` reply raises
         :class:`CallError`; otherwise the reply is returned either way.
         """
+        tracer = span = None
+        if self._client is not None and command.name != "attach":
+            parent = self._client.current_span()
+            if parent is not None:
+                tracer = self._client.ctx.obs.tracer
+                span = tracer.start_span(
+                    f"call:{command.name}", self.principal, parent, kind=SPAN_CLIENT
+                )
+                if span is not None:
+                    command = inject(command, span.context)
+        status = "interrupted"  # overwritten on any non-interrupt exit
         try:
-            yield from self.channel.send(command.to_string())
-            reply_text = yield from self.channel.recv()
-        except ConnectionClosed as exc:
-            raise TransportError(f"connection lost during {command.name!r}: {exc}")
-        reply = parse_command(reply_text)
-        if check and is_error(reply):
-            raise CallError(
-                f"{command.name!r} failed: {reply.get('reason', 'unknown')}", reply
-            )
-        return reply
+            try:
+                yield from self.channel.send(command.to_string())
+                reply_text = yield from self.channel.recv()
+            except ConnectionClosed as exc:
+                status = "transport-error"
+                raise TransportError(f"connection lost during {command.name!r}: {exc}")
+            reply = parse_command(reply_text)
+            if is_error(reply):
+                status = "cmdFailed"
+                if check:
+                    raise CallError(
+                        f"{command.name!r} failed: {reply.get('reason', 'unknown')}", reply
+                    )
+            else:
+                status = "ok"
+            return reply
+        finally:
+            if span is not None:
+                tracer.finish(span, status=status)
 
     def send_oneway(self, command: ACECmdLine) -> Generator:
         """Send without waiting for the reply (the reply is drained later or
-        discarded when the connection closes)."""
+        discarded when the connection closes).  The current trace context
+        (if any) is injected so the receiver still joins the trace."""
+        if self._client is not None:
+            parent = self._client.current_span()
+            if parent is not None:
+                command = inject(command, parent.context)
         yield from self.channel.send(command.to_string())
 
     def close(self) -> None:
@@ -100,6 +135,42 @@ class ServiceClient:
         self.keypair = keypair
         self._rng = ctx.rng.py(f"client.{host.name}.{principal}")
         self._retry_rng = ctx.rng.py(f"rpc.{host.name}.{principal}")
+        #: explicit span stack (roots/bound spans); the ambient per-process
+        #: span is the fallback.  One client serves one logical flow.
+        self._span_stack: list = []
+
+    # ------------------------------------------------------------------
+    # Tracing (repro.obs)
+    # ------------------------------------------------------------------
+    def current_span(self):
+        """The span new calls should parent under: the top of this
+        client's explicit stack, else the ambient per-process span."""
+        if self._span_stack:
+            return self._span_stack[-1]
+        return self.ctx.obs.ambient_span()
+
+    def begin_trace(self, name: str, **annotations):
+        """Start (and make current) a root span for an end-to-end request
+        issued by this client; returns None when unsampled/disabled."""
+        span = self.ctx.obs.tracer.start_trace(name, self.principal, **annotations)
+        if span is not None:
+            self._span_stack.append(span)
+        return span
+
+    def end_trace(self, span, status: str = "ok", **annotations):
+        """Finish a span from :meth:`begin_trace` (None-safe)."""
+        if span is None:
+            return None
+        if self._span_stack and self._span_stack[-1] is span:
+            self._span_stack.pop()
+        return self.ctx.obs.tracer.finish(span, status=status, **annotations)
+
+    def bind_span(self, span) -> "ServiceClient":
+        """Parent this client's future calls under an existing span
+        (None-safe; used when the causal parent is known explicitly)."""
+        if span is not None:
+            self._span_stack.append(span)
+        return self
 
     def connect(
         self,
@@ -117,7 +188,7 @@ class ServiceClient:
             channel = yield from handshake_client(
                 conn, self._rng, ca.public_key, ca.name, expected_subject
             )
-        connection = ServiceConnection(channel, self.principal)
+        connection = ServiceConnection(channel, self.principal, client=self)
         if attach:
             yield from self._attach(connection)
         return connection
@@ -175,55 +246,82 @@ class ServiceClient:
         stats = registry.stats
         breaker = registry.breaker(address, policy)
         sim = self.ctx.sim
+        tracer = self.ctx.obs.tracer
+        span = tracer.start_span(
+            f"rpc:{command.name}", self.principal, self.current_span(),
+            kind=SPAN_CLIENT, address=str(address),
+        )
+        if span is not None:
+            self._span_stack.append(span)
+        status = "interrupted"
         deadline_at = sim.now + policy.deadline
         stats.calls += 1
         attempt = 0
-        while True:
-            now = sim.now
-            if not breaker.allow(now):
-                stats.breaker_rejected += 1
-                raise BreakerOpen(f"circuit open for {address} ({command.name!r})")
-            budget = min(policy.attempt_timeout, deadline_at - now)
-            if budget <= 0:
-                stats.deadline_expired += 1
-                stats.failures += 1
-                raise DeadlineExceeded(
-                    f"{command.name!r} to {address} exceeded {policy.deadline:.3f}s deadline"
-                )
-            try:
-                reply = yield from self._attempt_with_timeout(
-                    address, command, budget,
-                    check=check, expected_subject=expected_subject, attach=attach,
-                )
-            except RETRYABLE as exc:
-                if isinstance(exc, DeadlineExceeded):
+        try:
+            while True:
+                now = sim.now
+                if not breaker.allow(now):
+                    stats.breaker_rejected += 1
+                    status = "breaker-open"
+                    raise BreakerOpen(f"circuit open for {address} ({command.name!r})")
+                budget = min(policy.attempt_timeout, deadline_at - now)
+                if budget <= 0:
                     stats.deadline_expired += 1
-                if breaker.record_failure(sim.now):
-                    stats.breaker_trips += 1
-                    self.ctx.trace.emit(
-                        sim.now, "rpc", "breaker-open", address=str(address)
-                    )
-                attempt += 1
-                if attempt >= policy.max_attempts or sim.now >= deadline_at:
                     stats.failures += 1
+                    status = "deadline"
+                    raise DeadlineExceeded(
+                        f"{command.name!r} to {address} exceeded {policy.deadline:.3f}s deadline"
+                    )
+                try:
+                    reply = yield from self._attempt_with_timeout(
+                        address, command, budget,
+                        check=check, expected_subject=expected_subject, attach=attach,
+                    )
+                except RETRYABLE as exc:
+                    if isinstance(exc, DeadlineExceeded):
+                        stats.deadline_expired += 1
+                    if breaker.record_failure(sim.now):
+                        stats.breaker_trips += 1
+                        if span is not None:
+                            span.annotate(breaker_tripped=1)
+                        self.ctx.trace.emit(
+                            sim.now, "rpc", "breaker-open", address=str(address)
+                        )
+                    attempt += 1
+                    if attempt >= policy.max_attempts or sim.now >= deadline_at:
+                        stats.failures += 1
+                        status = "deadline" if isinstance(exc, DeadlineExceeded) else "transport-error"
+                        raise
+                    stats.retries += 1
+                    delay = policy.backoff_delay(attempt, self._retry_rng)
+                    yield sim.timeout(min(delay, max(deadline_at - sim.now, 0.0)))
+                    continue
+                except CallError:
+                    # The service answered (cmdFailed): healthy transport.
+                    if breaker.record_success():
+                        stats.breaker_resets += 1
+                    stats.successes += 1
+                    status = "cmdFailed"
                     raise
-                stats.retries += 1
-                delay = policy.backoff_delay(attempt, self._retry_rng)
-                yield sim.timeout(min(delay, max(deadline_at - sim.now, 0.0)))
-                continue
-            except CallError:
-                # The service answered (cmdFailed): healthy transport.
                 if breaker.record_success():
                     stats.breaker_resets += 1
+                    self.ctx.trace.emit(
+                        sim.now, "rpc", "breaker-closed", address=str(address)
+                    )
                 stats.successes += 1
-                raise
-            if breaker.record_success():
-                stats.breaker_resets += 1
-                self.ctx.trace.emit(
-                    sim.now, "rpc", "breaker-closed", address=str(address)
+                status = "ok"
+                return reply
+        finally:
+            if span is not None:
+                if self._span_stack and self._span_stack[-1] is span:
+                    self._span_stack.pop()
+                # ``attempt`` counts failed attempts; cmdFailed/ok add one
+                # more (the attempt that reached the service and returned).
+                total = attempt + (1 if status in ("ok", "cmdFailed") else 0)
+                tracer.finish(
+                    span, status=status, attempts=total,
+                    retries=max(total - 1, 0), breaker=breaker.state,
                 )
-            stats.successes += 1
-            return reply
 
     def _attempt_with_timeout(
         self, address: Address, command: ACECmdLine, timeout: float, **kw

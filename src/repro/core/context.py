@@ -19,6 +19,7 @@ from repro.security.keynote import Assertion
 from repro.sim import RngRegistry, Simulator, TraceRecorder
 
 from repro.core.policy import ResilienceRegistry
+from repro.obs import Observability
 
 
 class SecurityMode(enum.Enum):
@@ -69,6 +70,14 @@ class DaemonContext:
     dispatch_work: float = 2.0
     #: shared breakers/counters/lookup-cache for the resilient RPC layer
     resilience: ResilienceRegistry = field(default_factory=ResilienceRegistry)
+    #: causal tracer + metrics registry (built in __post_init__ when unset)
+    obs: Optional[Observability] = None
+
+    def __post_init__(self) -> None:
+        if self.obs is None:
+            self.obs = Observability(self.sim, self.rng)
+        # The RPC layer's counters read as the registry's ``rpc.*`` view.
+        self.obs.metrics.register_view("rpc", self.resilience.stats.snapshot)
 
     def default_bootstrap(self, asd_host: str) -> None:
         """Point the well-known addresses at conventional ports on one host."""

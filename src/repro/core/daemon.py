@@ -35,8 +35,10 @@ from dataclasses import dataclass
 from typing import Any, Dict, Generator, List, Optional
 
 from repro.lang import ACECmdLine, ACELanguageError, ArgSpec, ArgType, CommandSemantics
-from repro.lang.command import error_reply, ok_reply
+from repro.lang.command import RESERVED_ARGS, error_reply, ok_reply
 from repro.lang.semantics import reply_semantics
+from repro.obs import SERVER as SPAN_SERVER
+from repro.obs import extract as extract_trace
 from repro.net import Address, Connection, ConnectionClosed, ConnectionRefused, HandshakeError
 from repro.net.host import Host, HostDownError
 from repro.net.secure import handshake_server
@@ -76,6 +78,10 @@ class Request:
     principal: str
     received_at: float
     remote: Optional[Address] = None
+    #: server span for this request (None when untraced/unsampled)
+    span: Optional[Any] = None
+    #: when the command thread queued this request for the control thread
+    queued_at: float = 0.0
 
 
 class ACEDaemon:
@@ -118,6 +124,19 @@ class ACEDaemon:
         self._credential_cache: Dict[str, tuple[float, list]] = {}
         self._credential_sweep_at = 0.0
         self._commands_served = 0
+
+        # Per-daemon instruments (cached so the dispatch path is dict-free).
+        metrics = ctx.obs.metrics
+        self._m_queue_wait = metrics.histogram(f"daemon.{name}.queue_wait_s")
+        self._m_service_time = metrics.histogram(f"daemon.{name}.service_time_s")
+        self._m_queue_depth = metrics.gauge(f"daemon.{name}.queue_depth")
+        self._m_auth_cache_hits = metrics.counter(f"daemon.{name}.auth_cache.hits")
+        self._m_auth_cache_misses = metrics.counter(f"daemon.{name}.auth_cache.misses")
+        self._m_lease_renewals = metrics.counter(f"daemon.{name}.lease_renewals")
+        self._m_notify_sent = metrics.counter(f"daemon.{name}.notifications.delivered")
+        self._m_notify_failed = metrics.counter(f"daemon.{name}.notifications.failed")
+        self._m_cmd_counters: Dict[str, Any] = {}
+        metrics.register_view(f"daemon.{name}.watchers", self.notifications.counts)
 
         # Identity for SSL server handshakes and signed actions.
         if ctx.security.mode is not SecurityMode.NONE and ctx.security.ca is not None:
@@ -334,6 +353,7 @@ class ACEDaemon:
                     attach=False,
                 )
                 del reply
+                self._m_lease_renewals.inc()
             except (CallError, ConnectionClosed, ConnectionRefused):
                 # Lease lapsed or ASD restarted: re-register from scratch.
                 try:
@@ -396,19 +416,36 @@ class ACEDaemon:
                 received_at=self.ctx.sim.now,
                 remote=channel.remote,
             )
-            if self.authorize_commands and command.name != "ping":
-                allowed, reason = yield from self._authorize(request)
-                if not allowed:
-                    yield from self._safe_send(
-                        channel, error_reply(command, f"permission denied: {reason}").to_string()
-                    )
-                    continue
-            reply_slot = self.ctx.sim.event()
+            obs = self.ctx.obs
+            inbound = extract_trace(command)
+            if inbound is not None:
+                request.span = obs.tracer.start_span(
+                    f"serve:{command.name}", self.name, inbound,
+                    kind=SPAN_SERVER, principal=request.principal,
+                )
+            # The request span is ambient while this thread works on the
+            # request, so e.g. the authorization path's AuthDB fetch joins
+            # the trace as a child.
+            prev_ambient = obs.set_ambient(request.span)
             try:
-                yield self._control_queue.put((request, reply_slot))
-            except QueueClosed:
-                return
-            reply = yield reply_slot
+                if self.authorize_commands and command.name != "ping":
+                    allowed, reason = yield from self._authorize(request)
+                    if not allowed:
+                        obs.tracer.finish(request.span, status="denied")
+                        yield from self._safe_send(
+                            channel, error_reply(command, f"permission denied: {reason}").to_string()
+                        )
+                        continue
+                request.queued_at = self.ctx.sim.now
+                reply_slot = self.ctx.sim.event()
+                try:
+                    yield self._control_queue.put((request, reply_slot))
+                except QueueClosed:
+                    return
+                self._m_queue_depth.set(len(self._control_queue))
+                reply = yield reply_slot
+            finally:
+                obs.set_ambient(prev_ambient)
             yield from self._safe_send(channel, reply.to_string())
 
     def _parse(self, text: Any) -> ACECmdLine:
@@ -455,6 +492,8 @@ class ACEDaemon:
             "command": request.command.name,
         }
         for key, value in request.command:
+            if key in RESERVED_ARGS:
+                continue
             if isinstance(value, (int, float, str)) and key not in attrs:
                 attrs[key] = value if isinstance(value, str) else str(value)
         credentials = yield from self._fetch_credentials(request.principal)
@@ -476,7 +515,9 @@ class ACEDaemon:
         self._evict_stale_credentials(now)
         cached = self._credential_cache.get(principal)
         if cached is not None and now - cached[0] <= cfg.credential_cache_ttl:
+            self._m_auth_cache_hits.inc()
             return cached[1]
+        self._m_auth_cache_misses.inc()
         authdb_addr = getattr(self.ctx, "authdb_address", None)
         if authdb_addr is None:
             return []
@@ -518,27 +559,58 @@ class ACEDaemon:
     # Control thread
     # ------------------------------------------------------------------
     def _control_thread(self) -> Generator:
+        obs = self.ctx.obs
         while self.running:
             try:
                 request, reply_slot = yield self._control_queue.get()
             except QueueClosed:
                 return
+            now = self.ctx.sim.now
+            self._m_queue_depth.set(len(self._control_queue))
+            queue_wait = now - (request.queued_at or request.received_at)
+            self._m_queue_wait.observe(queue_wait)
+            if request.span is not None:
+                request.span.annotate(queue_wait_ms=round(queue_wait * 1e3, 3))
+            # Make the request span ambient for the handler (and for any
+            # work it spawns: replication pushes, notifications, ...).
+            prev_ambient = obs.set_ambient(request.span)
             try:
                 yield from self.host.execute(self.ctx.dispatch_work)
                 reply = yield from self._execute(request)
             except ServiceError as exc:
                 reply = error_reply(request.command, str(exc))
             except HostDownError:
+                obs.tracer.finish(request.span, status="host-down")
                 return
             except Interrupt:
+                obs.tracer.finish(request.span, status="interrupted")
                 return
             except ACELanguageError as exc:
                 reply = error_reply(request.command, _clean(exc))
+            finally:
+                obs.set_ambient(prev_ambient)
             self._commands_served += 1
+            self._count_command(request.command.name)
+            self._m_service_time.observe(self.ctx.sim.now - now)
+            obs.tracer.finish(
+                request.span, status="ok" if reply.name == "cmdOk" else "cmdFailed"
+            )
             if not reply_slot.triggered:
                 reply_slot.succeed(reply)
             if reply.name == "cmdOk":
-                self._spawn_notifications(request)
+                prev_ambient = obs.set_ambient(request.span)
+                try:
+                    self._spawn_notifications(request)
+                finally:
+                    obs.set_ambient(prev_ambient)
+
+    def _count_command(self, verb: str) -> None:
+        counter = self._m_cmd_counters.get(verb)
+        if counter is None:
+            counter = self._m_cmd_counters[verb] = self.ctx.obs.metrics.counter(
+                f"daemon.{self.name}.cmd.{verb}"
+            )
+        counter.inc()
 
     def _execute(self, request: Request) -> Generator:
         name = request.command.name
@@ -608,7 +680,9 @@ class ACEDaemon:
         entries = self.notifications.listeners(request.command.name)
         if not entries:
             return
-        payload = request.command.to_string()
+        # Strip reserved observability arguments from the forwarded payload;
+        # the delivery call carries its own (fresh) trace context.
+        payload = request.command.without_args(*RESERVED_ARGS).to_string()
         for entry in entries:
             self._spawn(self._deliver_notification(entry, request, payload), "notify")
 
@@ -624,12 +698,14 @@ class ACEDaemon:
         client = self._service_client()
         try:
             yield from client.call_once(entry.address, notification, attach=True)
+            self._m_notify_sent.inc()
             self.ctx.trace.emit(
                 self.ctx.sim.now, self.name, "notification-delivered",
                 listener=entry.listener, cmd=request.command.name,
             )
         except (CallError, ConnectionClosed, ConnectionRefused, HostDownError, Interrupt):
             # Paper: dead listeners get purged so future triggers don't stall.
+            self._m_notify_failed.inc()
             self.notifications.remove_listener(entry.listener)
             self.ctx.trace.emit(
                 self.ctx.sim.now, self.name, "notification-failed", listener=entry.listener

@@ -72,6 +72,10 @@ class NotificationTable:
     def __len__(self) -> int:
         return sum(len(v) for v in self._by_command.values())
 
+    def counts(self) -> Dict[str, int]:
+        """Listener count per watched command (metrics-view friendly)."""
+        return {command: len(entries) for command, entries in sorted(self._by_command.items())}
+
     def entries(self) -> Iterable[NotificationEntry]:
         for command in sorted(self._by_command):
             yield from self._by_command[command]

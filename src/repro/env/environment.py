@@ -63,6 +63,8 @@ class ACEEnvironment:
         lease_duration: float = 30.0,
         trace: bool = True,
         net_kwargs: Optional[dict] = None,
+        obs_export: bool = False,
+        obs_export_kwargs: Optional[dict] = None,
     ):
         self.sim = Simulator()
         self.rng = RngRegistry(seed)
@@ -82,6 +84,15 @@ class ACEEnvironment:
         self.rooms: List[Tuple[str, str, Tuple[float, float, float]]] = []
         self._booted = False
         self._admin_keypair: Optional[KeyPair] = None
+        #: ship finished spans + metric snapshots to the NetLogger at boot
+        self._obs_export = obs_export
+        self._obs_export_kwargs = dict(obs_export_kwargs or {})
+        self.exporter = None
+
+    @property
+    def obs(self):
+        """The environment's observability hub (tracer + metrics)."""
+        return self.ctx.obs
 
     # ------------------------------------------------------------------
     # Topology
@@ -315,6 +326,13 @@ class ACEEnvironment:
                 # is up, before any room-aware daemon starts.
                 self.sim.run_process(self._register_rooms(), timeout=30.0)
         self.sim.run(until=self.sim.now + settle)
+        if self._obs_export and "netlogger" in self.daemons:
+            from repro.obs import NetLoggerExporter
+
+            self.exporter = NetLoggerExporter(
+                self.ctx, self.daemons["netlogger"].host, **self._obs_export_kwargs
+            )
+            self.exporter.start()
         return self
 
     def _register_rooms(self) -> Generator:

@@ -62,32 +62,41 @@ def scenario_1_new_user(env: ACEEnvironment, username: str = "john",
     client = scenario_client(env, admin_host, "admin-gui")
     t0 = sim.now
 
-    # Step 1: insert the user and his scanned fingerprint into the AUD.
-    yield from client.call_once(
-        env.daemon("aud").address,
-        ACECmdLine(
-            "addUser",
-            username=username,
-            fullname=fullname,
-            password=identity.password,
-            ibutton=identity.ibutton_serial,
-            fingerprint=identity.fingerprint_template,
-        ),
-    )
-    t_user_added = sim.now
+    # The whole scenario is one causal trace: every hop below (AUD insert,
+    # WSS placement, the SAL/SRM/HAL fan-out it causes) lands in one tree.
+    root = client.begin_trace("scenario1:new-user", user=username)
+    status = "interrupted"
+    try:
+        # Step 1: insert the user and his scanned fingerprint into the AUD.
+        yield from client.call_once(
+            env.daemon("aud").address,
+            ACECmdLine(
+                "addUser",
+                username=username,
+                fullname=fullname,
+                password=identity.password,
+                ibutton=identity.ibutton_serial,
+                fingerprint=identity.fingerprint_template,
+            ),
+        )
+        t_user_added = sim.now
 
-    # Step 2: the GUI tells the WSS; a default workspace comes up somewhere.
-    reply = yield from client.call_once(
-        env.daemon("wss").address,
-        ACECmdLine("ensureDefaultWorkspace", user=username),
-    )
-    t_workspace = sim.now
+        # Step 2: the GUI tells the WSS; a default workspace comes up somewhere.
+        reply = yield from client.call_once(
+            env.daemon("wss").address,
+            ACECmdLine("ensureDefaultWorkspace", user=username),
+        )
+        t_workspace = sim.now
+        status = "ok"
+    finally:
+        client.end_trace(root, status=status)
     return {
         "username": username,
         "workspace": reply.str("workspace"),
         "vnc_host": reply.str("host"),
         "t_user_added": t_user_added - t0,
         "t_total": t_workspace - t0,
+        "trace_id": root.trace_id if root is not None else "",
     }
 
 

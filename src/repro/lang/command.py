@@ -15,6 +15,12 @@ from repro.lang.values import Value, format_value, normalize_value
 
 _NAME_OK = __import__("re").compile(r"^[A-Za-z0-9_]+$")
 
+#: the reserved argument carrying the repro.obs trace context (a WORD like
+#: ``t3_s12_s11``); reserved arguments ride on any command without being
+#: part of its declared semantics — validation skips them.
+OBS_TRACE_ARG = "o_tc"
+RESERVED_ARGS = frozenset({OBS_TRACE_ARG})
+
 
 class ACECmdLine:
     """An ACE command line: ``name arg1=value1 arg2=value2 ... ;``"""
@@ -102,6 +108,15 @@ class ACECmdLine:
         for key, value in updates.items():
             merged[key] = value
         return ACECmdLine(self._name, merged)
+
+    def without_args(self, *names: str) -> "ACECmdLine":
+        """A copy with the named arguments removed (missing names are
+        ignored) — e.g. stripping reserved observability arguments before
+        re-forwarding a command as a notification payload."""
+        if not any(n in self._args for n in names):
+            return self
+        kept = {k: v for k, v in self._args.items() if k not in names}
+        return ACECmdLine(self._name, kept)
 
     # -- serialization --------------------------------------------------------
     def to_string(self) -> str:

@@ -14,7 +14,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from repro.lang.command import ACECmdLine
+from repro.lang.command import ACECmdLine, RESERVED_ARGS
 from repro.lang.errors import SemanticError
 from repro.lang.values import Value, is_word
 
@@ -149,6 +149,8 @@ class CommandSemantics:
                 raise SemanticError(f"unknown command {command.name!r}")
             return command
         seen = dict(command.args)
+        for reserved in RESERVED_ARGS:
+            seen.pop(reserved, None)
         fills: Dict[str, Any] = {}
         for arg_spec in spec.args:
             if arg_spec.name in seen:

@@ -1,0 +1,106 @@
+"""`repro.obs` — end-to-end causal tracing + metrics (the observability
+subsystem the paper's Network Logger story implies).
+
+One :class:`Observability` hangs off every
+:class:`~repro.core.context.DaemonContext`; it owns:
+
+* the :class:`~repro.obs.tracer.Tracer` — causal spans propagated across
+  every ACE command via a reserved ``o_tc`` argument, so one client
+  request yields a span tree across ASD lookup, attach, dispatch,
+  notifications, and store replication;
+* the :class:`~repro.obs.registry.MetricsRegistry` — counters, gauges,
+  and fixed-bucket histograms every daemon feeds (commands by verb,
+  queue wait vs service time, auth-cache hits, lease renewals), with the
+  RPC layer's :class:`~repro.metrics.RpcStats` folded in as the ``rpc.*``
+  view;
+* optionally a :class:`~repro.obs.export.NetLoggerExporter` shipping
+  finished spans + snapshots to the NetworkLogger daemon.
+
+See README's "Observability" section and EXPERIMENTS.md E22.
+"""
+
+from repro.obs.context import TraceContext, extract, inject
+from repro.obs.export import METRICS_EVENT, SPAN_EVENT, NetLoggerExporter, span_from_wire, span_to_wire
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import (
+    CLIENT,
+    INTERNAL,
+    PRODUCER,
+    SERVER,
+    CriticalHop,
+    Span,
+    SpanTree,
+    Tracer,
+    critical_path,
+    critical_path_rows,
+)
+
+__all__ = [
+    "CLIENT",
+    "Counter",
+    "CriticalHop",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "INTERNAL",
+    "METRICS_EVENT",
+    "MetricsRegistry",
+    "NetLoggerExporter",
+    "Observability",
+    "PRODUCER",
+    "SERVER",
+    "SPAN_EVENT",
+    "Span",
+    "SpanTree",
+    "TraceContext",
+    "Tracer",
+    "critical_path",
+    "critical_path_rows",
+    "extract",
+    "inject",
+    "span_from_wire",
+    "span_to_wire",
+]
+
+
+class Observability:
+    """Tracer + metrics registry for one simulated environment."""
+
+    def __init__(self, sim, rng=None, *, trace_enabled: bool = True, sample_rate: float = 1.0):
+        self.sim = sim
+        sampler = rng.py("obs.sampler") if rng is not None else None
+        self.tracer = Tracer(
+            lambda: sim.now, enabled=trace_enabled, sample_rate=sample_rate, rng=sampler
+        )
+        self.metrics = MetricsRegistry()
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled
+
+    def set_sampling(self, sample_rate: float) -> None:
+        self.tracer.sample_rate = sample_rate
+
+    # -- ambient span (per sim process) --------------------------------
+    # The kernel gives every Process an ``obs_context`` slot that child
+    # processes inherit at spawn time; these helpers are the only code
+    # that reads/writes it, keeping the kernel observability-agnostic.
+    def ambient_span(self) -> "Span | None":
+        proc = self.sim.active_process
+        return proc.obs_context if proc is not None else None
+
+    def set_ambient(self, span) -> "Span | None":
+        """Install ``span`` as the current process's ambient span; returns
+        the previous one so callers can restore it."""
+        proc = self.sim.active_process
+        if proc is None:
+            return None
+        previous = proc.obs_context
+        proc.obs_context = span
+        return previous

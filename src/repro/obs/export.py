@@ -1,0 +1,169 @@
+"""Shipping spans and metric snapshots to the Network Logger (§4.14).
+
+The paper's admin-investigation story — "system administrators can
+investigate them for security holes or system bugs" — becomes executable
+when the observability layer feeds the NetworkLogger: every exported span
+is one ``logEvent`` row an administrator can ``queryLog``/``countEvents``
+over, and periodic metric snapshots give the coarse health timeline.
+
+The exporter is deliberately a *client* of the logger daemon (it rides
+the same command language as everything else), batched per flush (one
+connection, many ``logEvent`` commands) and sampled (``span_sample``)
+so it cannot become the hot path it is watching.  Export traffic itself
+is never traced.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro.lang import ACECmdLine
+from repro.lang.wire import join_wire, split_wire
+
+#: logEvent event names used for exported rows
+SPAN_EVENT = "obs_span"
+METRICS_EVENT = "obs_metrics"
+
+
+def span_to_wire(span) -> str:
+    """One span as an escaped ``|`` row (the NetLogger ``detail`` field)."""
+    notes = ",".join(f"{k}={v}" for k, v in sorted(span.annotations.items()))
+    return join_wire(
+        (
+            span.trace_id,
+            span.span_id,
+            span.parent_id,
+            span.name,
+            span.source,
+            span.kind,
+            f"{span.start:.6f}",
+            f"{span.end:.6f}",
+            span.status,
+            notes,
+        )
+    )
+
+
+def span_from_wire(detail: str) -> dict:
+    """Decode a :func:`span_to_wire` row (admin-side convenience)."""
+    fields = split_wire(detail)
+    if len(fields) != 10:
+        raise ValueError(f"malformed span row ({len(fields)} fields)")
+    return {
+        "trace_id": fields[0],
+        "span_id": fields[1],
+        "parent_id": fields[2],
+        "name": fields[3],
+        "source": fields[4],
+        "kind": fields[5],
+        "start": float(fields[6]),
+        "end": float(fields[7]),
+        "status": fields[8],
+        "annotations": fields[9],
+    }
+
+
+class NetLoggerExporter:
+    """Batched, sampled span/metrics shipper running as a sim process."""
+
+    def __init__(
+        self,
+        ctx,
+        host,
+        *,
+        flush_interval: float = 5.0,
+        max_batch: int = 200,
+        span_sample: float = 1.0,
+        metrics_prefix: str = "",
+        source: str = "obs",
+    ):
+        self.ctx = ctx
+        self.host = host
+        self.flush_interval = flush_interval
+        self.max_batch = max_batch
+        self.span_sample = span_sample
+        self.metrics_prefix = metrics_prefix
+        self.source = source
+        self._queue: List = []
+        self._sample_rng = ctx.rng.py(f"obs.export.{host.name}")
+        self.spans_exported = 0
+        self.spans_sampled_out = 0
+        self.snapshots_exported = 0
+        self.running = False
+        self._proc = None
+
+    # -- wiring ------------------------------------------------------------
+    def start(self):
+        """Hook the tracer's finish callback and launch the flush loop."""
+        if self.running:
+            return self._proc
+        self.running = True
+        self.ctx.obs.tracer.on_finish = self._enqueue
+        self._proc = self.ctx.sim.process(self._run(), name="obs.exporter")
+        return self._proc
+
+    def stop(self) -> None:
+        self.running = False
+        if self.ctx.obs.tracer.on_finish is self._enqueue:
+            self.ctx.obs.tracer.on_finish = None
+
+    def _enqueue(self, span) -> None:
+        if self.span_sample < 1.0 and self._sample_rng.random() >= self.span_sample:
+            self.spans_sampled_out += 1
+            return
+        if len(self._queue) < self.max_batch * 10:  # hard backstop
+            self._queue.append(span)
+
+    # -- the flush loop ----------------------------------------------------
+    def _run(self) -> Generator:
+        from repro.core.client import CallError, ServiceClient
+        from repro.net import ConnectionClosed, ConnectionRefused
+
+        sim = self.ctx.sim
+        while self.running:
+            yield sim.timeout(self.flush_interval)
+            target = self.ctx.netlogger_address
+            if target is None or (not self._queue and not self.metrics_prefix):
+                continue
+            batch, self._queue = self._queue[: self.max_batch], self._queue[self.max_batch:]
+            client = ServiceClient(self.ctx, self.host, principal=self.source)
+            try:
+                conn = yield from client.connect(target)
+            except (CallError, ConnectionClosed, ConnectionRefused):
+                self._queue = batch + self._queue  # retry next flush
+                continue
+            try:
+                for span in batch:
+                    yield from conn.call(
+                        ACECmdLine(
+                            "logEvent",
+                            source=self.source,
+                            event=SPAN_EVENT,
+                            detail=span_to_wire(span),
+                        )
+                    )
+                    self.spans_exported += 1
+                snapshot = self.ctx.obs.metrics.snapshot(self.metrics_prefix)
+                if snapshot:
+                    detail = ",".join(
+                        f"{k}={_short(v)}" for k, v in sorted(snapshot.items())
+                    )
+                    yield from conn.call(
+                        ACECmdLine(
+                            "logEvent",
+                            source=self.source,
+                            event=METRICS_EVENT,
+                            detail=detail,
+                        )
+                    )
+                    self.snapshots_exported += 1
+            except (CallError, ConnectionClosed, ConnectionRefused):
+                pass  # best effort: remaining batch rows are lost, queue keeps rest
+            finally:
+                conn.close()
+
+
+def _short(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)

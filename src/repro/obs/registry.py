@@ -1,0 +1,168 @@
+"""Per-environment metrics registry: counters, gauges, fixed-bucket
+histograms, and read-only views.
+
+Everything on the hot path is plain-Python and allocation-light — a
+counter increment is one dict hit amortized to an attribute bump (callers
+cache the instrument object), and histograms use fixed bucket bounds with
+a linear scan (bucket counts are short tuples; no numpy anywhere near the
+command dispatch path).
+
+``register_view(name, fn)`` folds externally-owned counters into
+:meth:`MetricsRegistry.snapshot` — that is how the resilient RPC layer's
+:class:`~repro.metrics.RpcStats` shows up under ``rpc.*`` without moving.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+#: default latency bucket upper bounds, seconds (last bucket is +inf)
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, table size)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        self.value -= n
+
+
+class Histogram:
+    """Fixed-bucket histogram with running sum/min/max.
+
+    ``bounds`` are inclusive upper edges; observations above the last
+    bound land in the implicit overflow bucket.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "minimum", "maximum")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+        self.bounds = tuple(float(b) for b in bounds)
+        if any(b1 >= b2 for b1, b2 in zip(self.bounds, self.bounds[1:])):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Bucket-resolution quantile (upper bound of the bucket holding
+        the q-th observation); 0 when empty."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0
+        for i, n in enumerate(self.counts):
+            running += n
+            if running >= target:
+                return self.bounds[i] if i < len(self.bounds) else self.maximum
+        return self.maximum
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+            "max": self.maximum if self.count else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Name → instrument store with a cheap flattened snapshot."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._views: Dict[str, Callable[[], Dict[str, Any]]] = {}
+
+    # -- get-or-create (callers cache the returned object) -----------------
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter()
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge()
+        return inst
+
+    def histogram(self, name: str, bounds: Optional[Sequence[float]] = None) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(bounds or DEFAULT_LATENCY_BUCKETS)
+        return inst
+
+    def register_view(self, name: str, fn: Callable[[], Dict[str, Any]]) -> None:
+        """Fold an external ``fn() -> dict`` under ``<name>.*`` at snapshot
+        time (e.g. the RPC layer's RpcStats)."""
+        self._views[name] = fn
+
+    # -- reading -----------------------------------------------------------
+    def snapshot(self, prefix: str = "") -> Dict[str, Any]:
+        """Flat name → value dict (histograms flatten to ``name.count`` /
+        ``name.mean`` / percentiles), filtered by ``prefix``."""
+        out: Dict[str, Any] = {}
+        for name, c in self._counters.items():
+            out[name] = c.value
+        for name, g in self._gauges.items():
+            out[name] = g.value
+        for name, h in self._histograms.items():
+            for key, value in h.snapshot().items():
+                out[f"{name}.{key}"] = value
+        for name, fn in self._views.items():
+            for key, value in fn().items():
+                out[f"{name}.{key}"] = value
+        if prefix:
+            out = {k: v for k, v in out.items() if k.startswith(prefix)}
+        return out
+
+    def names(self) -> List[str]:
+        return sorted(self.snapshot())

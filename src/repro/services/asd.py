@@ -18,33 +18,17 @@ from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional
 
 from repro.lang import ACECmdLine, ArgSpec, ArgType, CommandSemantics
+from repro.lang.wire import escape_field, split_wire
 from repro.net import Address, ConnectionClosed, ConnectionRefused
 from repro.core.client import CallError, ServiceClient
 from repro.core.daemon import ACEDaemon, Request, ServiceError
 from repro.core.leases import LeaseTable
 from repro.core.policy import CallPolicy
 
-
-def _escape_field(value: str) -> str:
-    """Make a record field safe around the ``|`` wire delimiter."""
-    return value.replace("\\", "\\\\").replace("|", "\\|")
-
-
-def _split_wire(text: str) -> List[str]:
-    """Split on unescaped ``|`` and undo the escaping."""
-    fields: List[str] = []
-    current: List[str] = []
-    it = iter(text)
-    for ch in it:
-        if ch == "\\":
-            current.append(next(it, ""))
-        elif ch == "|":
-            fields.append("".join(current))
-            current = []
-        else:
-            current.append(ch)
-    fields.append("".join(current))
-    return fields
+# Backwards-compatible aliases: the escaping was born here and later
+# promoted to repro.lang.wire so NetLogger and the obs exporter share it.
+_escape_field = escape_field
+_split_wire = split_wire
 
 
 @dataclass(frozen=True)

@@ -6,14 +6,23 @@ send ``logEvent`` commands (startup does so automatically, Fig. 9 step 5);
 administrators query with ``queryLog``/``countEvents``.  The intrusion
 example from the paper — repeated invalid logins — is supported by
 ``countEvents source=... event=...`` over a time window.
+
+Query rows are ``|``-delimited with the shared :mod:`repro.lang.wire`
+escaping, so a ``source`` or ``detail`` containing ``|`` survives the
+round trip.  Entries are indexed per source, per event, and per
+``(source, event)`` pair by sequence number; since simulated time is
+monotonic, a parallel time array turns ``since=...`` into a bisect, so the
+intrusion-detection count is O(log n) instead of a full-log scan.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.lang import ArgSpec, ArgType, CommandSemantics
+from repro.lang.wire import join_wire
 from repro.core.daemon import ACEDaemon, Request
 
 
@@ -23,6 +32,9 @@ class LogEntry:
     source: str
     event: str
     detail: str
+
+    def to_wire(self) -> str:
+        return join_wire((f"{self.time:.6f}", self.source, self.event, self.detail))
 
 
 class NetworkLoggerDaemon(ACEDaemon):
@@ -35,6 +47,13 @@ class NetworkLoggerDaemon(ACEDaemon):
         super().__init__(ctx, name, host, **kwargs)
         self.max_entries = max_entries
         self.entries: List[LogEntry] = []
+        # entries[i] has sequence id _base + i; the indices below hold
+        # ascending sequence ids and survive trims via _base bookkeeping.
+        self._base = 0
+        self._times: List[float] = []
+        self._by_source: Dict[str, List[int]] = {}
+        self._by_event: Dict[str, List[int]] = {}
+        self._by_pair: Dict[Tuple[str, str], List[int]] = {}
 
     def build_semantics(self, sem: CommandSemantics) -> None:
         sem.define(
@@ -56,40 +75,103 @@ class NetworkLoggerDaemon(ACEDaemon):
             ArgSpec("since", ArgType.NUMBER, required=False, default=0.0),
         )
 
-    def _matching(self, source: Optional[str], event: Optional[str], since: float = 0.0):
-        return [
-            e
-            for e in self.entries
-            if (source is None or e.source == source)
-            and (event is None or e.event == event)
-            and e.time >= since
-        ]
+    # ------------------------------------------------------------------
+    # Index maintenance
+    # ------------------------------------------------------------------
+    def _append(self, entry: LogEntry) -> None:
+        seq = self._base + len(self.entries)
+        self.entries.append(entry)
+        self._times.append(entry.time)
+        self._by_source.setdefault(entry.source, []).append(seq)
+        self._by_event.setdefault(entry.event, []).append(seq)
+        self._by_pair.setdefault((entry.source, entry.event), []).append(seq)
+        if len(self.entries) > self.max_entries:
+            # Drop the oldest decile rather than one-at-a-time churn.
+            drop = self.max_entries // 10
+            del self.entries[:drop]
+            del self._times[:drop]
+            self._base += drop
+            self._prune_indices()
 
+    def _prune_indices(self) -> None:
+        """Drop sequence ids below ``_base`` (entries already trimmed)."""
+        for index in (self._by_source, self._by_event, self._by_pair):
+            dead = []
+            for key, seqs in index.items():
+                cut = bisect_left(seqs, self._base)
+                if cut:
+                    del seqs[:cut]
+                if not seqs:
+                    dead.append(key)
+            for key in dead:
+                del index[key]
+
+    def _index_for(
+        self, source: Optional[str], event: Optional[str]
+    ) -> Union[Sequence[int], range]:
+        """The ascending sequence-id list matching the source/event filter."""
+        if source is not None and event is not None:
+            return self._by_pair.get((source, event), [])
+        if source is not None:
+            return self._by_source.get(source, [])
+        if event is not None:
+            return self._by_event.get(event, [])
+        return range(self._base, self._base + len(self.entries))
+
+    def _cutoff_seq(self, since: float) -> int:
+        """First sequence id whose entry time is >= ``since``; times are
+        monotone (simulated clock), so this is a bisect."""
+        if since <= 0.0:
+            return self._base
+        return self._base + bisect_left(self._times, since)
+
+    def _entry(self, seq: int) -> LogEntry:
+        return self.entries[seq - self._base]
+
+    def _count_matching(self, source: Optional[str], event: Optional[str], since: float = 0.0) -> int:
+        seqs = self._index_for(source, event)
+        cutoff = self._cutoff_seq(since)
+        if isinstance(seqs, range):
+            return max(0, seqs.stop - max(seqs.start, cutoff))
+        return len(seqs) - bisect_left(seqs, cutoff)
+
+    def _matching(self, source: Optional[str], event: Optional[str], since: float = 0.0) -> List[LogEntry]:
+        seqs = self._index_for(source, event)
+        cutoff = self._cutoff_seq(since)
+        if isinstance(seqs, range):
+            seqs = range(max(seqs.start, cutoff), seqs.stop)
+        else:
+            seqs = seqs[bisect_left(seqs, cutoff):]
+        return [self._entry(s) for s in seqs]
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
     def cmd_logEvent(self, request: Request) -> dict:
         cmd = request.command
-        entry = LogEntry(
+        self._append(LogEntry(
             time=self.ctx.sim.now,
             source=cmd.str("source"),
             event=cmd.str("event"),
             detail=cmd.str("detail", ""),
-        )
-        self.entries.append(entry)
-        if len(self.entries) > self.max_entries:
-            # Drop the oldest decile rather than one-at-a-time churn.
-            del self.entries[: self.max_entries // 10]
+        ))
         return {"logged": 1}
 
     def cmd_queryLog(self, request: Request) -> dict:
         cmd = request.command
-        matches = self._matching(cmd.get("source"), cmd.get("event"))
+        source, event = cmd.get("source"), cmd.get("event")
         limit = cmd.int("limit", 20)
-        tail = matches[-limit:] if limit > 0 else []
-        result: dict = {"count": len(matches)}
-        if tail:
-            result["events"] = tuple(f"{e.time:.6f}|{e.source}|{e.event}|{e.detail}" for e in tail)
+        seqs = self._index_for(source, event)
+        count = len(seqs)
+        result: dict = {"count": count}
+        if count and limit > 0:
+            tail = seqs[max(0, count - limit):]
+            result["events"] = tuple(self._entry(s).to_wire() for s in tail)
         return result
 
     def cmd_countEvents(self, request: Request) -> dict:
         cmd = request.command
-        matches = self._matching(cmd.get("source"), cmd.get("event"), cmd.float("since", 0.0))
-        return {"count": len(matches)}
+        count = self._count_matching(
+            cmd.get("source"), cmd.get("event"), cmd.float("since", 0.0)
+        )
+        return {"count": count}

@@ -136,13 +136,19 @@ class Process(Event):
     (value = the generator's return value) or raises (failure).
     """
 
-    __slots__ = ("generator", "name", "_waiting_on")
+    __slots__ = ("generator", "name", "_waiting_on", "obs_context")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         super().__init__(sim)
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
+        # Ambient observability context: spawned processes inherit the
+        # spawner's current span, so fan-out work (notifications, store
+        # replication, RPC attempts) stays causally attached to the request
+        # that caused it.  Opaque to the kernel.
+        parent = sim.active_process
+        self.obs_context = parent.obs_context if parent is not None else None
         # Bootstrap: resume once at the current time.
         boot = Event(sim)
         boot.callbacks.append(self._resume)
@@ -182,6 +188,14 @@ class Process(Event):
         self._step(self.generator.throw, exc)
 
     def _step(self, call: Callable, arg: Any) -> None:
+        prev_active = self.sim.active_process
+        self.sim.active_process = self
+        try:
+            self._step_inner(call, arg)
+        finally:
+            self.sim.active_process = prev_active
+
+    def _step_inner(self, call: Callable, arg: Any) -> None:
         try:
             target = call(arg)
         except StopIteration as stop:
@@ -303,6 +317,9 @@ class Simulator:
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._running = False
+        #: the process currently being stepped (None between steps); lets
+        #: freshly spawned processes inherit the spawner's obs_context
+        self.active_process: Optional[Process] = None
 
     @property
     def now(self) -> float:

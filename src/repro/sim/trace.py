@@ -72,6 +72,10 @@ class TraceRecorder:
             return None
         return end.time - start.time
 
+    def between(self, t0: float, t1: float) -> List[TraceRecord]:
+        """Records with ``t0 <= time < t1`` (metrics-window queries)."""
+        return [r for r in self.records if t0 <= r.time < t1]
+
     def kinds(self) -> List[str]:
         """Kinds in first-occurrence order (useful for step-order asserts)."""
         seen: List[str] = []

@@ -71,6 +71,8 @@ class StoreClient:
         self.policy = policy or STORE_CALL_POLICY
         self._client = ServiceClient(ctx, host, principal=principal)
         self._read_index = 0
+        self._m_failovers = ctx.obs.metrics.counter("store.client.failovers")
+        self._m_unavailable = ctx.obs.metrics.counter("store.client.unavailable")
 
     # ------------------------------------------------------------------
     def _call_with_failover(self, command: ACECmdLine, order: List[Address]) -> Generator:
@@ -83,7 +85,9 @@ class StoreClient:
                 return reply
             except _FAILOVER_ERRORS as exc:
                 last_error = exc
+                self._m_failovers.inc()
                 continue
+        self._m_unavailable.inc()
         raise StoreUnavailable(f"all replicas failed for {command.name}: {last_error}")
 
     def _write_order(self) -> List[Address]:
@@ -126,7 +130,9 @@ class StoreClient:
                 return reply
             except _FAILOVER_ERRORS as exc:
                 last_error = exc
+                self._m_failovers.inc()
                 continue
+        self._m_unavailable.inc()
         raise StoreUnavailable(f"all replicas failed for {command.name}: {last_error}")
 
     def delete(self, path: str) -> Generator:

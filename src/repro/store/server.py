@@ -49,6 +49,11 @@ class PersistentStoreDaemon(ACEDaemon):
         self.replications_sent = 0
         self.replications_applied = 0
         self.syncs_completed = 0
+        metrics = ctx.obs.metrics
+        self._m_repl_sent = metrics.counter(f"store.{name}.replications_sent")
+        self._m_repl_applied = metrics.counter(f"store.{name}.replications_applied")
+        self._m_repl_failed = metrics.counter(f"store.{name}.replications_failed")
+        self._m_syncs = metrics.counter(f"store.{name}.syncs")
 
     def build_semantics(self, sem: CommandSemantics) -> None:
         sem.define(
@@ -102,8 +107,10 @@ class PersistentStoreDaemon(ACEDaemon):
         try:
             yield from client.call_once(peer, command, attach=False)
             self.replications_sent += 1
+            self._m_repl_sent.inc()
             return True
         except (CallError, ConnectionClosed, ConnectionRefused):
+            self._m_repl_failed.inc()
             return False
 
     def _anti_entropy_loop(self) -> Generator:
@@ -118,6 +125,7 @@ class PersistentStoreDaemon(ACEDaemon):
             try:
                 yield from self._sync_with(peer)
                 self.syncs_completed += 1
+                self._m_syncs.inc()
             except HostDownError:
                 return  # our own host died; the daemon is gone
             except (CallError, ConnectionClosed, ConnectionRefused):
@@ -157,6 +165,7 @@ class PersistentStoreDaemon(ACEDaemon):
                 )
                 if self.namespace.apply(obj):
                     self.replications_applied += 1
+                    self._m_repl_applied.inc()
         finally:
             conn.close()
 
@@ -221,6 +230,7 @@ class PersistentStoreDaemon(ACEDaemon):
         won = self.namespace.apply(obj)
         if won:
             self.replications_applied += 1
+            self._m_repl_applied.inc()
         return {"applied": 1 if won else 0}
 
     def cmd_psDigest(self, request: Request) -> dict:

@@ -28,10 +28,13 @@ def closed_loop_clients(
     think_time: float = 0.1,
     client_host_name: Optional[str] = None,
     recorder: Optional[LatencyRecorder] = None,
+    trace_name: Optional[str] = None,
 ) -> LatencyRecorder:
     """Run N think-loop clients against ``target`` for ``duration`` sim-s.
 
     ``make_command(client_index, iteration)`` builds each request.
+    ``trace_name`` (when set) wraps every request in a root trace span named
+    ``{trace_name}`` — the knob E22 uses to measure tracing overhead.
     Returns the latency recorder (per-request response times).
     """
     recorder = recorder or LatencyRecorder()
@@ -53,10 +56,18 @@ def closed_loop_clients(
             while sim.now < stop_at:
                 command = make_command(index, iteration)
                 t0 = sim.now
+                root = (
+                    client.begin_trace(trace_name, client=index, iteration=iteration)
+                    if trace_name
+                    else None
+                )
+                status = "ok"
                 try:
                     yield from conn.call(command)
                 except CallError:
-                    pass  # denials still count as served traffic
+                    status = "cmdFailed"  # denials still count as served traffic
+                finally:
+                    client.end_trace(root, status=status)
                 recorder.record(sim.now - t0)
                 iteration += 1
                 yield sim.timeout(think_rng.expovariate(1.0 / think_time) if think_time > 0 else 0)

@@ -1,0 +1,53 @@
+"""TraceContext wire format + command injection/extraction."""
+
+import pytest
+
+from repro.lang import ACECmdLine, ACELanguageError, ArgSpec, ArgType, CommandSemantics, parse_command
+from repro.lang.command import OBS_TRACE_ARG
+from repro.obs import TraceContext, extract, inject
+
+
+def test_wire_round_trip():
+    ctx = TraceContext("t3", "s12", "s11")
+    assert ctx.to_wire() == "t3_s12_s11"
+    assert TraceContext.from_wire("t3_s12_s11") == ctx
+
+
+def test_wire_root_has_no_parent():
+    ctx = TraceContext("t1", "s1", "")
+    assert ctx.to_wire() == "t1_s1_x"
+    back = TraceContext.from_wire("t1_s1_x")
+    assert back.parent_id == ""
+
+
+def test_from_wire_rejects_garbage():
+    for bad in ("", "t1", "t1_s2", "a_b_c_d"):
+        assert TraceContext.from_wire(bad) is None
+
+
+def test_inject_extract_round_trip():
+    command = ACECmdLine("echo", text="hi")
+    ctx = TraceContext("t9", "s4", "s3")
+    tagged = inject(command, ctx)
+    assert tagged.get(OBS_TRACE_ARG) == "t9_s4_s3"
+    assert extract(tagged) == ctx
+    # The original command is untouched (with_args copies).
+    assert command.get(OBS_TRACE_ARG) is None
+
+
+def test_extract_absent_is_none():
+    assert extract(ACECmdLine("echo", text="hi")) is None
+
+
+def test_injected_command_survives_parse_and_validate():
+    """The reserved arg rides the wire as a WORD and passes strict
+    semantics validation even though no command declares it."""
+    sem = CommandSemantics()
+    sem.define("echo", ArgSpec("text", ArgType.STRING))
+    tagged = inject(ACECmdLine("echo", text="hello world"), TraceContext("t2", "s7", "s6"))
+    parsed = parse_command(tagged.to_string())
+    validated = sem.validate(parsed)
+    assert extract(validated) == TraceContext("t2", "s7", "s6")
+    # Unknown *non-reserved* args still fail validation.
+    with pytest.raises(ACELanguageError):
+        sem.validate(ACECmdLine("echo", text="x", bogus="y"))

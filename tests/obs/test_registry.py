@@ -1,0 +1,62 @@
+"""MetricsRegistry / instrument unit tests."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_and_gauge_basics():
+    c, g = Counter(), Gauge()
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    g.set(3.0)
+    g.inc()
+    g.dec(0.5)
+    assert g.value == 3.5
+
+
+def test_histogram_buckets_and_stats():
+    h = Histogram(bounds=(0.001, 0.01, 0.1))
+    for v in (0.0005, 0.002, 0.002, 0.05, 7.0):
+        h.observe(v)
+    assert h.count == 5
+    assert h.counts == [1, 2, 1, 1]  # last = overflow
+    assert h.minimum == 0.0005 and h.maximum == 7.0
+    assert abs(h.mean - (0.0005 + 0.002 + 0.002 + 0.05 + 7.0) / 5) < 1e-12
+    # Bucket-resolution percentiles: p50 lands in the 0.01 bucket,
+    # p99 in the overflow bucket (reported as the observed max).
+    assert h.percentile(0.50) == 0.01
+    assert h.percentile(0.99) == 7.0
+
+
+def test_histogram_empty_and_bad_bounds():
+    h = Histogram()
+    assert h.mean == 0.0
+    assert h.percentile(0.5) == 0.0
+    assert h.snapshot()["max"] == 0.0
+    with pytest.raises(ValueError):
+        Histogram(bounds=(0.1, 0.1))
+
+
+def test_registry_get_or_create_caches():
+    reg = MetricsRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    assert reg.gauge("b") is reg.gauge("b")
+    assert reg.histogram("c") is reg.histogram("c")
+
+
+def test_snapshot_flattens_and_filters():
+    reg = MetricsRegistry()
+    reg.counter("daemon.asd.cmd.lookup").inc(3)
+    reg.gauge("daemon.asd.queue_depth").set(2)
+    reg.histogram("daemon.asd.service_time_s").observe(0.004)
+    reg.register_view("rpc", lambda: {"calls": 7, "retries": 1})
+    snap = reg.snapshot()
+    assert snap["daemon.asd.cmd.lookup"] == 3
+    assert snap["daemon.asd.queue_depth"] == 2
+    assert snap["daemon.asd.service_time_s.count"] == 1
+    assert snap["rpc.calls"] == 7
+    only_rpc = reg.snapshot("rpc.")
+    assert set(only_rpc) == {"rpc.calls", "rpc.retries"}
+    assert "rpc.calls" in reg.names()

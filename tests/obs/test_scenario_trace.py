@@ -1,0 +1,54 @@
+"""Scenario 1 under full tracing: the complete span tree of §7.1.
+
+This is E22's acceptance (b) at unit-test granularity: one Ch. 7 scenario
+yields exactly one root span whose tree covers both administrative hops
+(AUD insert, WSS placement) with deterministic hop ordering.
+"""
+
+from repro.env.scenarios import scenario_1_new_user, standard_environment
+from repro.obs import critical_path
+
+
+def test_scenario_1_produces_one_deterministic_span_tree():
+    env = standard_environment(seed=7).boot()
+    result = env.run(scenario_1_new_user(env))
+    assert result["workspace"]
+    trace_id = result["trace_id"]
+    assert trace_id
+
+    tree = env.obs.tracer.tree(trace_id)
+    assert len(tree.roots) == 1
+    root = tree.root
+    assert root.name == "scenario1:new-user" and root.status == "ok"
+
+    hops = tree.hops()
+    # The two administrative commands, in causal order.
+    assert hops[0] == "scenario1:new-user"
+    assert hops.index("serve:addUser") < hops.index("serve:ensureDefaultWorkspace")
+    # The workspace placement fans out beyond the WSS (SAL/SRM/HAL chain),
+    # so the tree is deeper than client->server.
+    assert tree.depth() >= 3
+    assert len(tree) >= 5
+
+    # Same seed ⇒ identical tree.
+    env2 = standard_environment(seed=7).boot()
+    result2 = env2.run(scenario_1_new_user(env2))
+    tree2 = env2.obs.tracer.tree(result2["trace_id"])
+    assert [(s.name, s.source) for _, s in tree.walk()] == [
+        (s.name, s.source) for _, s in tree2.walk()
+    ]
+
+    # The critical path starts at the scenario root and ends in real work.
+    hops_cp = critical_path(tree)
+    assert hops_cp[0].span is root
+    assert sum(h.self_time for h in hops_cp) <= root.duration + 1e-9
+
+
+def test_scenario_1_trace_disabled_records_nothing():
+    env = standard_environment(seed=7).boot()
+    env.obs.tracer.enabled = False
+    before = len(env.obs.tracer.spans)
+    result = env.run(scenario_1_new_user(env))
+    assert result["workspace"]
+    assert result["trace_id"] == ""
+    assert len(env.obs.tracer.spans) == before

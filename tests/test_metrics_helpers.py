@@ -1,0 +1,103 @@
+"""Edge-case coverage for the repro.metrics helpers (PR-2 satellite):
+Summary.row scaling, ResultTable rendering/_fmt corners, and
+AvailabilityRecorder window boundaries."""
+
+import pytest
+
+from repro.metrics import (
+    AvailabilityRecorder,
+    ResultTable,
+    Summary,
+    _fmt,
+    summarize,
+)
+
+
+# -- Summary.row --------------------------------------------------------------
+
+def test_summary_row_custom_scale_and_unit():
+    s = Summary(count=3, mean=2.0, p50=2.0, p95=3.0, p99=3.0, minimum=1.0, maximum=3.0)
+    row = s.row(scale=1.0, unit="s")
+    assert "mean=    2.000s" in row and "max=    3.000s" in row
+    micro = s.row(scale=1e6, unit="us")
+    assert "mean=2000000.000us" in micro
+
+
+def test_summary_row_empty_summary():
+    row = summarize([]).row()
+    assert "n=0" in row and "mean=    0.000ms" in row
+
+
+# -- ResultTable / _fmt -------------------------------------------------------
+
+def test_result_table_render_no_rows():
+    table = ResultTable("empty", ["a", "bb"])
+    out = table.render()
+    assert "== empty ==" in out
+    lines = out.splitlines()
+    assert lines[1] == "a  bb"
+    assert lines[2] == "-  --"
+
+
+def test_result_table_pads_to_widest_cell():
+    table = ResultTable("t", ["col"])
+    table.add("wider-than-header")
+    out = table.render().splitlines()
+    assert out[1] == "col".ljust(len("wider-than-header"))
+    assert out[3] == "wider-than-header"
+
+
+def test_result_table_arity_check():
+    table = ResultTable("t", ["a", "b"])
+    with pytest.raises(ValueError):
+        table.add(1)
+
+
+def test_fmt_float_corners():
+    assert _fmt(0.0) == "0"
+    assert _fmt(1234.5) == "1.234e+03"   # large -> scientific
+    assert _fmt(0.0000005) == "5.000e-07"  # tiny -> scientific
+    assert _fmt(12.3456789) == "12.35"     # 4 significant digits
+    assert _fmt(7) == "7"                  # ints pass through
+    assert _fmt("x") == "x"
+
+
+# -- AvailabilityRecorder windows ---------------------------------------------
+
+def test_availability_bucket_boundaries():
+    rec = AvailabilityRecorder(bucket=1.0)
+    rec.record(0.0, True)    # bucket 0
+    rec.record(0.999, False)  # bucket 0
+    rec.record(1.0, True)    # bucket 1 exactly on the edge
+    rec.record(2.0, False)   # bucket 2
+    # [0, 1) sees only bucket 0.
+    assert rec.availability_between(0.0, 1.0) == 0.5
+    # [1, 2) includes the t=1.0 edge sample, excludes bucket 2.
+    assert rec.availability_between(1.0, 2.0) == 1.0
+    # Window start is inclusive, end exclusive on bucket *starts*.
+    assert rec.availability_between(0.0, 2.0) == pytest.approx(2 / 3)
+    assert rec.delivered_between(0.0, 1.0) == 1
+    assert rec.delivered_between(0.0, 3.0) == 2
+    assert rec.delivered_between(3.0, 9.0) == 0
+
+
+def test_availability_empty_window_is_perfect():
+    rec = AvailabilityRecorder(bucket=0.5)
+    assert rec.availability_between(0.0, 10.0) == 1.0
+    rec.record(20.0, False)
+    assert rec.availability_between(0.0, 10.0) == 1.0  # outside the window
+
+
+def test_availability_rejects_bad_bucket():
+    with pytest.raises(ValueError):
+        AvailabilityRecorder(bucket=0.0)
+
+
+def test_series_rows_sorted_by_bucket():
+    rec = AvailabilityRecorder(bucket=2.0)
+    rec.record(5.0, True)
+    rec.record(1.0, True)
+    rec.record(1.5, False)
+    rows = rec.series()
+    assert [r[0] for r in rows] == [0.0, 4.0]
+    assert rows[0][1] == 0.5 and rows[0][2] == 2
