@@ -16,8 +16,15 @@ registration and lease renewal — is inherited, which is exactly the
 
 from repro.core.context import DaemonContext, SecurityMode
 from repro.core.daemon import ACEDaemon, Request, ServiceError
-from repro.core.client import ServiceClient, ServiceConnection, CallError
-from repro.core.leases import Lease, LeaseTable
+from repro.core.client import (
+    CallError,
+    ConnectionPool,
+    PipelinedConnection,
+    ServiceClient,
+    ServiceConnection,
+)
+from repro.core.leases import Lease, LeaseRenewalBatcher, LeaseTable
+from repro.core.lookup_cache import LookupCache, query_key
 from repro.core.notifications import NotificationEntry, NotificationTable
 from repro.core.policy import (
     BreakerOpen,
@@ -34,10 +41,15 @@ __all__ = [
     "CallError",
     "CallPolicy",
     "CircuitBreaker",
+    "ConnectionPool",
     "DaemonContext",
     "DeadlineExceeded",
     "Lease",
+    "LeaseRenewalBatcher",
     "LeaseTable",
+    "LookupCache",
+    "PipelinedConnection",
+    "query_key",
     "NotificationEntry",
     "NotificationTable",
     "Request",

@@ -16,13 +16,14 @@ from __future__ import annotations
 from typing import Generator, Optional, Union
 
 from repro.lang import ACECmdLine, parse_command
-from repro.lang.command import is_error
+from repro.lang.command import PIPELINE_SEQ_ARG, is_error
 from repro.net import Address, Connection, ConnectionClosed, ConnectionRefused
 from repro.net.host import Host
 from repro.net.secure import SecureChannel, handshake_client
 from repro.obs import CLIENT as SPAN_CLIENT
 from repro.obs import inject
 from repro.security.crypto import KeyPair, sha256_hex
+from repro.sim import Interrupt
 
 from repro.core.context import DaemonContext, SecurityMode
 from repro.core.policy import (
@@ -36,6 +37,21 @@ from repro.core.policy import (
 #: transport-level failures worth retrying (the endpoint may recover);
 #: plain CallError (cmdFailed) means the service answered — never retried.
 RETRYABLE = (ConnectionRefused, ConnectionClosed, TransportError, DeadlineExceeded)
+
+#: failures that justify moving on to the *next replica* of a replicated
+#: service: everything retryable plus an already-open breaker (no point
+#: waiting out the cooldown when a sibling can answer now).
+FAILOVER_ERRORS = RETRYABLE + (BreakerOpen,)
+
+#: per-replica policy for failover calls: one attempt per endpoint —
+#: trying the next replica *is* the retry (same shape as the store's).
+FAILOVER_POLICY = CallPolicy(
+    deadline=2.0,
+    attempt_timeout=1.0,
+    max_attempts=1,
+    backoff_base=0.05,
+    backoff_max=0.2,
+)
 
 Channel = Union[Connection, SecureChannel]
 
@@ -119,6 +135,261 @@ class ServiceConnection:
         self.channel.close()
 
 
+class PipelinedConnection:
+    """One attached channel carrying up to ``max_inflight`` tagged commands.
+
+    Plain :meth:`ServiceConnection.call` is strictly request/reply: every
+    command pays a full round trip before the next may start.  A pipelined
+    connection tags each outgoing command with a ``o_seq`` sequence number
+    (echoed by the daemon on the matching reply) and runs a single reader
+    process that routes replies back to their callers, so several commands
+    — even from *different* simulation processes sharing this object — can
+    be in flight on one channel at once.
+
+    Failure semantics (regression-tested): when the channel dies, only the
+    calls currently in flight fail (with :class:`TransportError`); calls
+    already answered keep their replies, and a fresh pipeline to the same
+    address works immediately.  A reply whose tag was forgotten (the caller
+    timed out) is discarded, never mis-paired.
+    """
+
+    def __init__(
+        self,
+        client: "ServiceClient",
+        connection: ServiceConnection,
+        max_inflight: int = 8,
+    ):
+        if max_inflight <= 0:
+            raise ValueError(f"max_inflight must be positive, got {max_inflight}")
+        self._client = client
+        self._conn = connection
+        self.max_inflight = max_inflight
+        self._next_seq = 0
+        self._pending: dict = {}          # seq -> Event awaiting the reply
+        self._slot_waiters: list = []     # Events of calls queued for a slot
+        self._reader = None
+        self._dead: Optional[BaseException] = None
+        metrics = client.ctx.obs.metrics
+        self._m_sent = metrics.counter("rpc.pipeline.sent")
+        self._m_matched = metrics.counter("rpc.pipeline.matched")
+        self._m_discarded = metrics.counter("rpc.pipeline.discarded")
+        self._m_depth = metrics.histogram(
+            "rpc.pipeline.depth", bounds=(1, 2, 4, 8, 16, 32)
+        )
+
+    @property
+    def closed(self) -> bool:
+        return self._dead is not None or self._conn.closed
+
+    @property
+    def inflight(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    def call(
+        self, command: ACECmdLine, *, check: bool = True, timeout: Optional[float] = None
+    ) -> Generator:
+        """Issue ``command`` without waiting for earlier calls' replies.
+
+        Blocks only while all ``max_inflight`` slots are taken.  With
+        ``timeout`` the call raises :class:`DeadlineExceeded` when the
+        tagged reply has not arrived in time (a late reply is discarded).
+        """
+        sim = self._client.ctx.sim
+        while self._dead is None and len(self._pending) >= self.max_inflight:
+            slot = sim.event()
+            self._slot_waiters.append(slot)
+            yield slot
+        if self._dead is not None:
+            raise TransportError(f"pipeline to {self._conn.channel.remote} is closed: {self._dead}")
+        seq = self._next_seq
+        self._next_seq += 1
+        tracer = span = None
+        parent = self._client.current_span()
+        if parent is not None:
+            tracer = self._client.ctx.obs.tracer
+            span = tracer.start_span(
+                f"pipeline:{command.name}", self._conn.principal, parent,
+                kind=SPAN_CLIENT, seq=seq,
+            )
+            if span is not None:
+                command = inject(command, span.context)
+        tagged = command.with_args(**{PIPELINE_SEQ_ARG: seq})
+        reply_ev = sim.event()
+        self._pending[seq] = reply_ev
+        self._m_depth.observe(len(self._pending))
+        self._ensure_reader()
+        status = "interrupted"
+        try:
+            try:
+                yield from self._conn.channel.send(tagged.to_string())
+            except ConnectionClosed as exc:
+                self._pending.pop(seq, None)
+                reply_ev.defuse()
+                self._fail_inflight(TransportError(f"pipeline send failed: {exc}"))
+                status = "transport-error"
+                raise TransportError(f"connection lost during {command.name!r}: {exc}")
+            self._m_sent.inc()
+            try:
+                if timeout is None:
+                    reply = yield reply_ev
+                else:
+                    timer = sim.timeout(timeout)
+                    outcome = yield sim.any_of([reply_ev, timer])
+                    if reply_ev in outcome:
+                        reply = outcome[reply_ev]
+                    else:
+                        self._pending.pop(seq, None)
+                        reply_ev.defuse()
+                        self._release_slot()
+                        status = "deadline"
+                        raise DeadlineExceeded(
+                            f"pipelined {command.name!r} reply not seen in {timeout:.3f}s"
+                        )
+            except TransportError:
+                status = "transport-error"
+                raise
+            reply = reply.without_args(PIPELINE_SEQ_ARG)
+            if is_error(reply):
+                status = "cmdFailed"
+                if check:
+                    raise CallError(
+                        f"{command.name!r} failed: {reply.get('reason', 'unknown')}", reply
+                    )
+            else:
+                status = "ok"
+            return reply
+        finally:
+            if span is not None:
+                tracer.finish(span, status=status)
+
+    # ------------------------------------------------------------------
+    def _ensure_reader(self) -> None:
+        if self._reader is None or not self._reader.is_alive:
+            sim = self._client.ctx.sim
+            self._reader = sim.process(
+                self._reader_loop(), name=f"pipeline.{self._conn.principal}"
+            )
+
+    def _reader_loop(self) -> Generator:
+        """Route each incoming reply to the call that owns its tag."""
+        try:
+            while True:
+                text = yield from self._conn.channel.recv()
+                try:
+                    reply = parse_command(text)
+                except Exception:
+                    self._m_discarded.inc()
+                    continue
+                seq = reply.get(PIPELINE_SEQ_ARG)
+                waiter = None
+                if isinstance(seq, int) and not isinstance(seq, bool):
+                    waiter = self._pending.pop(seq, None)
+                elif self._pending:
+                    # Untagged reply (e.g. a parse-error notice the daemon
+                    # could not attribute): give it to the oldest caller
+                    # rather than deadlocking every slot.
+                    waiter = self._pending.pop(min(self._pending))
+                if waiter is None:
+                    self._m_discarded.inc()   # late reply after caller timeout
+                    continue
+                self._m_matched.inc()
+                waiter.succeed(reply)
+                self._release_slot()
+        except ConnectionClosed as exc:
+            self._fail_inflight(TransportError(f"pipeline channel closed: {exc}"))
+        except Interrupt:
+            self._fail_inflight(TransportError("pipeline closed locally"))
+
+    def _fail_inflight(self, exc: TransportError) -> None:
+        """Channel death: fail the in-flight calls — and only those."""
+        self._dead = exc
+        pending, self._pending = self._pending, {}
+        for ev in pending.values():
+            ev.defuse()
+            ev.fail(exc)
+        waiters, self._slot_waiters = self._slot_waiters, []
+        for ev in waiters:
+            ev.succeed()  # wake queued callers so they observe the death
+
+    def _release_slot(self) -> None:
+        while self._slot_waiters and len(self._pending) < self.max_inflight:
+            self._slot_waiters.pop(0).succeed()
+
+    def close(self) -> None:
+        if self._reader is not None and self._reader.is_alive:
+            self._reader.interrupt("pipeline closed")
+        self._conn.close()
+
+
+class ConnectionPool:
+    """Attached connections reused across calls, keyed by address.
+
+    The paper's clients dial the ASD for *every* command (connect → attach
+    → call → close); at scale the dial+attach dominates.  The pool checks
+    idle connections out exclusively (a plain channel cannot interleave two
+    request/reply exchanges), so concurrent callers to one address either
+    reuse distinct pooled channels or dial new ones.
+    """
+
+    def __init__(self, client: "ServiceClient", max_idle_per_address: int = 4):
+        self._client = client
+        self.max_idle_per_address = max_idle_per_address
+        self._idle: dict = {}   # str(address) -> list[ServiceConnection]
+        metrics = client.ctx.obs.metrics
+        self._m_reuse = metrics.counter("rpc.pool.reuse")
+        self._m_dial = metrics.counter("rpc.pool.dial")
+        self._m_discard = metrics.counter("rpc.pool.discard")
+
+    def acquire(self, address: Address, **connect_kw) -> Generator:
+        """Check out an attached connection (reused when one is idle)."""
+        bucket = self._idle.get(str(address))
+        while bucket:
+            conn = bucket.pop()
+            if not conn.closed:
+                self._m_reuse.inc()
+                return conn
+            self._m_discard.inc()
+        conn = yield from self._client.connect(address, **connect_kw)
+        self._m_dial.inc()
+        return conn
+
+    def release(self, address: Address, connection: ServiceConnection) -> None:
+        """Return a healthy connection for reuse."""
+        if connection.closed:
+            self._m_discard.inc()
+            return
+        bucket = self._idle.setdefault(str(address), [])
+        if len(bucket) >= self.max_idle_per_address:
+            self._m_discard.inc()
+            connection.close()
+            return
+        bucket.append(connection)
+
+    def call(
+        self, address: Address, command: ACECmdLine, *, check: bool = True, **connect_kw
+    ) -> Generator:
+        """``call_once`` over a pooled channel: the dial+attach round trips
+        are paid once per connection, not once per command."""
+        conn = yield from self.acquire(address, **connect_kw)
+        try:
+            reply = yield from conn.call(command, check=check)
+        except RETRYABLE:
+            conn.close()   # transport is suspect: never pool it again
+            raise
+        except CallError:
+            self.release(address, conn)   # daemon answered: channel is fine
+            raise
+        self.release(address, conn)
+        return reply
+
+    def close_all(self) -> None:
+        for bucket in self._idle.values():
+            for conn in bucket:
+                conn.close()
+        self._idle.clear()
+
+
 class ServiceClient:
     """Factory of attached connections for one principal on one host."""
 
@@ -138,6 +409,8 @@ class ServiceClient:
         #: explicit span stack (roots/bound spans); the ambient per-process
         #: span is the fallback.  One client serves one logical flow.
         self._span_stack: list = []
+        self._pool: Optional[ConnectionPool] = None
+        self._pipelines: dict = {}   # str(address) -> PipelinedConnection
 
     # ------------------------------------------------------------------
     # Tracing (repro.obs)
@@ -212,6 +485,103 @@ class ServiceClient:
         finally:
             connection.close()
         return reply
+
+    # ------------------------------------------------------------------
+    # Pooled + pipelined paths (the scale-out RPC plane)
+    # ------------------------------------------------------------------
+    @property
+    def pool(self) -> ConnectionPool:
+        """This client's connection pool (created on first use)."""
+        if self._pool is None:
+            self._pool = ConnectionPool(self)
+        return self._pool
+
+    def call_pooled(
+        self, address: Address, command: ACECmdLine, *, check: bool = True, **connect_kw
+    ) -> Generator:
+        """``call_once`` minus the per-command dial+attach round trips."""
+        reply = yield from self.pool.call(address, command, check=check, **connect_kw)
+        return reply
+
+    def pipelined(
+        self, address: Address, max_inflight: int = 8, **connect_kw
+    ) -> Generator:
+        """The shared pipelined channel to ``address``, dialing (or
+        re-dialing after a transport death) when needed."""
+        key = str(address)
+        pipe = self._pipelines.get(key)
+        if pipe is None or pipe.closed:
+            connection = yield from self.connect(address, **connect_kw)
+            pipe = PipelinedConnection(self, connection, max_inflight=max_inflight)
+            self._pipelines[key] = pipe
+        return pipe
+
+    def call_pipelined(
+        self,
+        address: Address,
+        command: ACECmdLine,
+        *,
+        check: bool = True,
+        timeout: Optional[float] = None,
+        **connect_kw,
+    ) -> Generator:
+        """Issue ``command`` on the shared pipelined channel to ``address``
+        — up to ``max_inflight`` commands from this client proceed without
+        waiting for each other's replies."""
+        pipe = yield from self.pipelined(address, **connect_kw)
+        reply = yield from pipe.call(command, check=check, timeout=timeout)
+        return reply
+
+    def close_channels(self) -> None:
+        """Drop every pooled/pipelined channel (e.g. at client shutdown)."""
+        if self._pool is not None:
+            self._pool.close_all()
+        for pipe in self._pipelines.values():
+            pipe.close()
+        self._pipelines.clear()
+
+    # ------------------------------------------------------------------
+    # Replica failover (the §5.3 robust-application client side)
+    # ------------------------------------------------------------------
+    def call_failover(
+        self,
+        addresses,
+        command: ACECmdLine,
+        policy: Optional[CallPolicy] = None,
+        *,
+        check: bool = True,
+        **kw,
+    ) -> Generator:
+        """Try ``command`` against each replica address until one answers.
+
+        Transport failures, attempt deadlines, and open breakers move on to
+        the next replica (each endpoint gets ``policy.max_attempts``, one
+        by default — failing over *is* the retry).  A ``cmdFailed`` reply
+        raises immediately when ``check``: the service answered, so its
+        siblings would refuse identically.
+        """
+        addrs = list(addresses)
+        if not addrs:
+            raise CallError(f"no addresses to call {command.name!r} against")
+        policy = policy or FAILOVER_POLICY
+        failovers = self.ctx.obs.metrics.counter("rpc.failover")
+        last_exc: Optional[Exception] = None
+        for i, address in enumerate(addrs):
+            if i:
+                failovers.inc()
+                self.ctx.trace.emit(
+                    self.ctx.sim.now, "rpc", "failover",
+                    command=command.name, address=str(address),
+                )
+            try:
+                reply = yield from self.call_resilient(
+                    address, command, policy, check=check, **kw
+                )
+                return reply
+            except FAILOVER_ERRORS as exc:
+                last_exc = exc
+        assert last_exc is not None
+        raise last_exc
 
     # ------------------------------------------------------------------
     # Resilient path: deadline + retry + circuit breaker

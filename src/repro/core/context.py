@@ -18,6 +18,7 @@ from repro.security.crypto import Certificate, CertificateAuthority, KeyPair
 from repro.security.keynote import Assertion
 from repro.sim import RngRegistry, Simulator, TraceRecorder
 
+from repro.core.lookup_cache import LookupCache
 from repro.core.policy import ResilienceRegistry
 from repro.obs import Observability
 
@@ -59,6 +60,9 @@ class DaemonContext:
     security: SecurityConfig = field(default_factory=SecurityConfig)
     #: bootstrap addresses (None = that infrastructure service is absent)
     asd_address: Optional[Address] = None
+    #: every directory replica, primary first; empty = single-ASD install
+    #: (clients then fall back to ``[asd_address]``)
+    asd_addresses: List[Address] = field(default_factory=list)
     roomdb_address: Optional[Address] = None
     netlogger_address: Optional[Address] = None
     authdb_address: Optional[Address] = None
@@ -70,14 +74,23 @@ class DaemonContext:
     dispatch_work: float = 2.0
     #: shared breakers/counters/lookup-cache for the resilient RPC layer
     resilience: ResilienceRegistry = field(default_factory=ResilienceRegistry)
+    #: when set, daemons on one host coalesce their ASD lease renewals into
+    #: one batched ``renewLease names=(...)`` command per interval
+    batch_lease_renewals: bool = False
     #: causal tracer + metrics registry (built in __post_init__ when unset)
     obs: Optional[Observability] = None
+    #: shared client-side directory cache (built in __post_init__ when unset)
+    lookup_cache: Optional[LookupCache] = None
 
     def __post_init__(self) -> None:
         if self.obs is None:
             self.obs = Observability(self.sim, self.rng)
         # The RPC layer's counters read as the registry's ``rpc.*`` view.
         self.obs.metrics.register_view("rpc", self.resilience.stats.snapshot)
+        if self.lookup_cache is None:
+            self.lookup_cache = LookupCache(metrics=self.obs.metrics)
+        #: per-host lease-renewal batchers (populated lazily by daemons)
+        self._lease_batchers: dict = {}
 
     def default_bootstrap(self, asd_host: str) -> None:
         """Point the well-known addresses at conventional ports on one host."""
@@ -85,6 +98,22 @@ class DaemonContext:
         self.roomdb_address = Address(asd_host, WellKnownPorts.ROOM_DB)
         self.netlogger_address = Address(asd_host, WellKnownPorts.NET_LOGGER)
         self.authdb_address = Address(asd_host, WellKnownPorts.AUTH_DB)
+
+    def directory_addresses(self) -> List[Address]:
+        """Every ASD replica a client may query, primary first."""
+        if self.asd_addresses:
+            return list(self.asd_addresses)
+        return [self.asd_address] if self.asd_address is not None else []
+
+    def lease_batcher(self, host):
+        """The (lazily created) per-host lease-renewal batcher."""
+        from repro.core.leases import LeaseRenewalBatcher
+
+        batcher = self._lease_batchers.get(host.name)
+        if batcher is None:
+            batcher = LeaseRenewalBatcher(self, host)
+            self._lease_batchers[host.name] = batcher
+        return batcher
 
     def issue_identity(self, subject: str) -> tuple[KeyPair, Optional[Certificate]]:
         """Mint a keypair (+ certificate when a CA is configured) and record

@@ -35,7 +35,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Generator, List, Optional
 
 from repro.lang import ACECmdLine, ACELanguageError, ArgSpec, ArgType, CommandSemantics
-from repro.lang.command import RESERVED_ARGS, error_reply, ok_reply
+from repro.lang.command import PIPELINE_SEQ_ARG, RESERVED_ARGS, error_reply, ok_reply
 from repro.lang.semantics import reply_semantics
 from repro.obs import SERVER as SPAN_SERVER
 from repro.obs import extract as extract_trace
@@ -217,11 +217,13 @@ class ACEDaemon:
         if not self.running:
             return
         self.running = False
-        if self.register_with_asd and self.ctx.asd_address is not None and self.host.up:
+        if self.ctx.batch_lease_renewals:
+            self.ctx.lease_batcher(self.host).unenroll(self.name)
+        if self.register_with_asd and self.ctx.directory_addresses() and self.host.up:
             try:
                 client = self._service_client()
-                yield from client.call_once(
-                    self.ctx.asd_address, ACECmdLine("deregister", name=self.name)
+                yield from client.call_failover(
+                    self.ctx.directory_addresses(), ACECmdLine("deregister", name=self.name)
                 )
             except (CallError, ConnectionClosed, Exception):
                 pass  # best effort; the lease will expire anyway
@@ -303,9 +305,9 @@ class ACEDaemon:
                 trace.emit(self.ctx.sim.now, self.name, "roomdb-registered", room=self.room)
             except (CallError, ConnectionClosed, ConnectionRefused) as exc:
                 trace.emit(self.ctx.sim.now, self.name, "roomdb-unavailable", error=str(exc))
-        if self.register_with_asd and self.ctx.asd_address is not None:
-            yield from client.call_resilient(
-                self.ctx.asd_address,
+        if self.register_with_asd and self.ctx.directory_addresses():
+            yield from client.call_failover(
+                self.ctx.directory_addresses(),
                 self._registration_command(),
                 policy=STARTUP_REGISTRATION_POLICY,
             )
@@ -337,18 +339,33 @@ class ACEDaemon:
         )
 
     def _lease_loop(self) -> Generator:
-        """Renew the ASD lease at the configured fraction of its duration."""
+        """Renew the ASD lease at the configured fraction of its duration.
+
+        With ``ctx.batch_lease_renewals`` the daemon instead enrolls in its
+        host's :class:`~repro.core.leases.LeaseRenewalBatcher`, which sends
+        one ``renewLease names=(...)`` for every service on the host."""
         interval = self.ctx.lease_duration * self.ctx.lease_renew_fraction
+        batched = (
+            self.register_with_asd
+            and self.ctx.batch_lease_renewals
+            and self.ctx.directory_addresses()
+        )
+        if batched:
+            self.ctx.lease_batcher(self.host).enroll(self.name, self._reregister)
+            while self.running:   # keep the main thread parked (Fig. 9)
+                yield self.ctx.sim.timeout(self.ctx.lease_duration)
+            return
         client = self._service_client()
         while self.running:
             yield self.ctx.sim.timeout(interval)
             if not self.running:
                 return
-            if not (self.register_with_asd and self.ctx.asd_address is not None):
+            addresses = self.ctx.directory_addresses()
+            if not (self.register_with_asd and addresses):
                 continue
             try:
-                reply = yield from client.call_once(
-                    self.ctx.asd_address,
+                reply = yield from client.call_failover(
+                    addresses,
                     ACECmdLine("renewLease", name=self.name),
                     attach=False,
                 )
@@ -357,10 +374,17 @@ class ACEDaemon:
             except (CallError, ConnectionClosed, ConnectionRefused):
                 # Lease lapsed or ASD restarted: re-register from scratch.
                 try:
-                    yield from client.call_once(self.ctx.asd_address, self._registration_command())
-                    self.ctx.trace.emit(self.ctx.sim.now, self.name, "asd-reregistered")
+                    yield from self._reregister()
                 except (CallError, ConnectionClosed, ConnectionRefused):
                     self.ctx.trace.emit(self.ctx.sim.now, self.name, "asd-unreachable")
+
+    def _reregister(self) -> Generator:
+        """Push our registration at the directory group again."""
+        client = self._service_client()
+        yield from client.call_failover(
+            self.ctx.directory_addresses(), self._registration_command()
+        )
+        self.ctx.trace.emit(self.ctx.sim.now, self.name, "asd-reregistered")
 
     # ------------------------------------------------------------------
     # Command threads
@@ -408,7 +432,7 @@ class ACEDaemon:
                     if problem is None
                     else error_reply(command, problem)
                 )
-                yield from self._safe_send(channel, reply.to_string())
+                yield from self._safe_send(channel, self._tag_reply(command, reply).to_string())
                 continue
             request = Request(
                 command=command,
@@ -432,8 +456,9 @@ class ACEDaemon:
                     allowed, reason = yield from self._authorize(request)
                     if not allowed:
                         obs.tracer.finish(request.span, status="denied")
+                        denied = error_reply(command, f"permission denied: {reason}")
                         yield from self._safe_send(
-                            channel, error_reply(command, f"permission denied: {reason}").to_string()
+                            channel, self._tag_reply(command, denied).to_string()
                         )
                         continue
                 request.queued_at = self.ctx.sim.now
@@ -443,10 +468,39 @@ class ACEDaemon:
                 except QueueClosed:
                     return
                 self._m_queue_depth.set(len(self._control_queue))
-                reply = yield reply_slot
+                if command.get(PIPELINE_SEQ_ARG) is not None:
+                    # Pipelined command: a spawned responder sends the
+                    # tagged reply when it's ready while this thread goes
+                    # straight back to reading — that is what lets k
+                    # tagged commands from one channel actually share the
+                    # daemon's command queue instead of serialising on
+                    # this read loop.  Untagged commands keep the strict
+                    # request/reply rhythm plain connections rely on.
+                    self._spawn(
+                        self._pipelined_reply(channel, command, reply_slot),
+                        "pipelined-reply",
+                    )
+                    reply = None
+                else:
+                    reply = yield reply_slot
             finally:
                 obs.set_ambient(prev_ambient)
-            yield from self._safe_send(channel, reply.to_string())
+            if reply is None:
+                continue
+            yield from self._safe_send(channel, self._tag_reply(command, reply).to_string())
+
+    def _pipelined_reply(self, channel: Channel, command: ACECmdLine, reply_slot) -> Generator:
+        reply = yield reply_slot
+        yield from self._safe_send(channel, self._tag_reply(command, reply).to_string())
+
+    @staticmethod
+    def _tag_reply(request: ACECmdLine, reply: ACECmdLine) -> ACECmdLine:
+        """Echo the request's pipeline tag (if any) so a client with
+        several commands in flight can pair this reply to its call."""
+        seq = request.get(PIPELINE_SEQ_ARG)
+        if seq is None:
+            return reply
+        return reply.with_args(**{PIPELINE_SEQ_ARG: seq})
 
     def _parse(self, text: Any) -> ACECmdLine:
         if not isinstance(text, str):

@@ -30,7 +30,7 @@ from repro.core.client import ServiceClient
 from repro.core.context import DaemonContext, SecurityMode
 from repro.core.daemon import ACEDaemon
 from repro.env.users import UserIdentity
-from repro.services.asd import ServiceDirectoryDaemon
+from repro.services.asd import DirectoryWatcherDaemon, ServiceDirectoryDaemon
 from repro.services.aud import UserDatabaseDaemon
 from repro.services.authdb import AuthorizationDatabaseDaemon
 from repro.services.fiu import FingerprintUnitDaemon, make_template
@@ -153,16 +153,49 @@ class ACEEnvironment:
         with_idmon: bool = True,
         sal_placement: str = "srm",
         srm_poll_interval: float = 5.0,
+        asd_replicas: int = 1,
+        asd_sync_interval: float = 5.0,
     ) -> Host:
-        """The standard service stack on one (beefier) machine."""
+        """The standard service stack on one (beefier) machine.
+
+        With ``asd_replicas > 1`` the directory becomes a replica group
+        (§5.3): extra ``ServiceDirectoryDaemon``\\ s on their own hosts,
+        leader-forwarded writes, anti-entropy sync, and every client
+        failing over across ``ctx.asd_addresses``.
+        """
         host = self.add_workstation(
             host_name, room=room, bogomips=bogomips, cores=cores
         )
         self.ctx.default_bootstrap(host_name)
-        self.add_daemon(
-            ServiceDirectoryDaemon(self.ctx, "asd", host, port=WellKnownPorts.ASD, room=room),
-            tier=_TIER_BOOTSTRAP,
-        )
+        directory = [
+            self.add_daemon(
+                ServiceDirectoryDaemon(
+                    self.ctx, "asd", host, port=WellKnownPorts.ASD, room=room,
+                    sync_interval=asd_sync_interval,
+                ),
+                tier=_TIER_BOOTSTRAP,
+            )
+        ]
+        for i in range(1, asd_replicas):
+            replica_host = self.add_workstation(
+                f"{host_name}-asd{i + 1}", room=room,
+                bogomips=bogomips, cores=cores, monitors=False,
+            )
+            directory.append(
+                self.add_daemon(
+                    ServiceDirectoryDaemon(
+                        self.ctx, f"asd{i + 1}", replica_host,
+                        port=WellKnownPorts.ASD, room=room,
+                        sync_interval=asd_sync_interval,
+                    ),
+                    tier=_TIER_BOOTSTRAP,
+                )
+            )
+        if len(directory) > 1:
+            addresses = [d.address for d in directory]
+            self.ctx.asd_addresses = addresses
+            for daemon in directory:
+                daemon.set_group(addresses)
         self.add_daemon(
             RoomDatabaseDaemon(self.ctx, "roomdb", host, port=WellKnownPorts.ROOM_DB, room=room),
             tier=_TIER_BOOTSTRAP,
@@ -200,6 +233,17 @@ class ACEEnvironment:
                 tier=_TIER_SYSTEM,
             )
         return host
+
+    def add_directory_watcher(self, host: Optional[Host] = None) -> ACEDaemon:
+        """The cache-invalidation listener: subscribes to the directory
+        group's register/deregister notifications and purges the shared
+        :class:`~repro.core.lookup_cache.LookupCache` entries they touch."""
+        if host is None:
+            host = self.daemons["asd"].host
+        return self.add_daemon(
+            DirectoryWatcherDaemon(self.ctx, "dirwatch", host, room=host.room),
+            tier=_TIER_DATABASE,
+        )
 
     def add_persistent_store(
         self, replicas: int = 3, *, host_prefix: str = "store",

@@ -19,7 +19,12 @@ _NAME_OK = __import__("re").compile(r"^[A-Za-z0-9_]+$")
 #: ``t3_s12_s11``); reserved arguments ride on any command without being
 #: part of its declared semantics — validation skips them.
 OBS_TRACE_ARG = "o_tc"
-RESERVED_ARGS = frozenset({OBS_TRACE_ARG})
+#: the reserved argument tagging pipelined requests (an INTEGER sequence
+#: number); daemons echo it on the matching reply so a client with several
+#: commands in flight on one channel can pair replies to calls even when a
+#: lossy link swallows one of them.
+PIPELINE_SEQ_ARG = "o_seq"
+RESERVED_ARGS = frozenset({OBS_TRACE_ARG, PIPELINE_SEQ_ARG})
 
 
 class ACECmdLine:

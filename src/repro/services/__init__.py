@@ -32,7 +32,13 @@ Module                Paper section
 """
 
 from repro.services.adaptive import AdaptiveCameraDaemon
-from repro.services.asd import ServiceDirectoryDaemon, ServiceRecord, asd_lookup
+from repro.services.asd import (
+    DirectoryWatcherDaemon,
+    ServiceDirectoryDaemon,
+    ServiceRecord,
+    asd_lookup,
+    asd_lookup_one,
+)
 from repro.services.aud import UserDatabaseDaemon, UserRecord
 from repro.services.base import DatabaseDaemon
 from repro.services.audio import (
@@ -111,6 +117,7 @@ __all__ = [
     "PrinterDaemon",
     "ProjectorDaemon",
     "RoomDatabaseDaemon",
+    "DirectoryWatcherDaemon",
     "ServiceDirectoryDaemon",
     "ServiceRecord",
     "SoundTriangulationDaemon",
@@ -127,6 +134,7 @@ __all__ = [
     "VCC4CameraDaemon",
     "WorkspaceServerDaemon",
     "asd_lookup",
+    "asd_lookup_one",
     "decode_credential",
     "encode_credential",
 ]

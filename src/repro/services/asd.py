@@ -1,4 +1,4 @@
-"""ASD — the ACE Service Directory (§2.4, Fig. 7).
+"""ASD — the ACE Service Directory (§2.4, Fig. 7), now a replica group.
 
 The central listing of active services.  Services ``register`` at startup
 (Fig. 9 step 3), ``renewLease`` periodically, ``deregister`` at shutdown;
@@ -10,12 +10,32 @@ resources attempting to connect to a defunct ACE service".
 Because registration is an ordinary ACE command, other daemons can watch
 it with ``addNotification cmd=register ...`` and learn about new services
 the moment they come up (Fig. 9 step 4) — no ASD-specific mechanism needed.
+:class:`DirectoryWatcherDaemon` uses exactly that hook to invalidate the
+client-side :class:`~repro.core.lookup_cache.LookupCache`.
+
+Scale-out (§5.3 "robust applications", same pattern as ``repro.store``):
+
+* **Replica group** — 2–3 directories share one logical registry.  Client
+  writes hitting a follower are forwarded to the leader (``group[0]``);
+  the coordinator stamps each mutation with a ``(seq, site)`` version,
+  applies it locally, and pushes it to its peers asynchronously
+  (``dirReplicate``).  When the leader is unreachable the follower
+  coordinates the write itself — availability beats strict ordering, and
+  last-writer-wins on ``(seq, site)`` keeps replicas convergent.
+* **Anti-entropy** — replicas periodically exchange ``dirDigest`` listings
+  and ``dirFetch`` anything newer, so a crashed-and-restarted replica
+  converges without operator help.
+* **Chunked replies** — ``lookup``/``listServices`` page large result sets
+  in bounded chunks (``next`` carries the continuation offset), replacing
+  the E2 jumbo reply.  Replies carry ``ttl`` — the minimum remaining lease
+  of the returned records — which clients use as the cache horizon.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.lang import ACECmdLine, ArgSpec, ArgType, CommandSemantics
 from repro.lang.wire import escape_field, split_wire
@@ -23,6 +43,7 @@ from repro.net import Address, ConnectionClosed, ConnectionRefused
 from repro.core.client import CallError, ServiceClient
 from repro.core.daemon import ACEDaemon, Request, ServiceError
 from repro.core.leases import LeaseTable
+from repro.core.lookup_cache import query_key
 from repro.core.policy import CallPolicy
 
 # Backwards-compatible aliases: the escaping was born here and later
@@ -67,17 +88,83 @@ class ServiceRecord:
         return False
 
 
+@dataclass
+class DirEntry:
+    """One replicated directory mutation: a record (or its tombstone) plus
+    the lease horizon and a last-writer-wins ``(seq, site)`` version."""
+
+    record: ServiceRecord
+    expires_at: float
+    seq: int
+    site: str
+    deleted: bool = False
+    renewals: int = field(default=0, compare=False)
+
+    @property
+    def version(self) -> Tuple[int, str]:
+        return (self.seq, self.site)
+
+    def to_wire(self) -> str:
+        return "|".join(
+            _escape_field(part)
+            for part in (
+                self.record.to_wire(),
+                repr(self.expires_at),
+                str(self.seq),
+                self.site,
+                "1" if self.deleted else "0",
+                str(self.renewals),
+            )
+        )
+
+    @classmethod
+    def from_wire(cls, text: str) -> "DirEntry":
+        record, expires, seq, site, deleted, renewals = _split_wire(text)
+        return cls(
+            record=ServiceRecord.from_wire(record),
+            expires_at=float(expires),
+            seq=int(seq),
+            site=site,
+            deleted=deleted == "1",
+            renewals=int(renewals),
+        )
+
+
 class ServiceDirectoryDaemon(ACEDaemon):
-    """The directory itself (a 'robust application' per §5.3)."""
+    """One replica of the directory group (a 'robust application', §5.3)."""
 
     service_type = "ServiceDirectory"
 
-    def __init__(self, ctx, name, host, **kwargs):
+    #: bounded reply size: at most this many records per lookup/listServices
+    #: reply (and per dirFetch batch) — the E2 jumbo-reply fix.
+    LOOKUP_CHUNK = 32
+
+    def __init__(self, ctx, name, host, *, group: Optional[List[Address]] = None,
+                 sync_interval: float = 5.0, **kwargs):
         kwargs.setdefault("authorize_commands", False)  # bootstrap service
         kwargs.setdefault("register_with_asd", False)   # it IS the ASD
         super().__init__(ctx, name, host, **kwargs)
         self.records: Dict[str, ServiceRecord] = {}
         self.leases = LeaseTable(ctx.lease_duration, on_expire=self._lease_expired)
+        #: every group member's address, leader first; empty = standalone
+        self.group: List[Address] = list(group or [])
+        self.sync_interval = sync_interval
+        self._entries: Dict[str, DirEntry] = {}
+        self._names: List[str] = []   # sorted index maintained on mutation
+        self._seq = 0
+        #: forward cooldown: until this time, writes bypass the leader
+        self._leader_down_until = 0.0
+        self.replications_sent = 0
+        self.replications_applied = 0
+        self.syncs_completed = 0
+        self.forwarded_writes = 0
+        self.coordinated_writes = 0
+        metrics = ctx.obs.metrics
+        self._m_repl_sent = metrics.counter(f"asd.{name}.replications_sent")
+        self._m_repl_applied = metrics.counter(f"asd.{name}.replications_applied")
+        self._m_repl_failed = metrics.counter(f"asd.{name}.replications_failed")
+        self._m_syncs = metrics.counter(f"asd.{name}.syncs")
+        self._m_forwarded = metrics.counter(f"asd.{name}.writes_forwarded")
 
     def build_semantics(self, sem: CommandSemantics) -> None:
         sem.define(
@@ -87,42 +174,235 @@ class ServiceDirectoryDaemon(ACEDaemon):
             ArgSpec("port", ArgType.INTEGER),
             ArgSpec("room", ArgType.STRING, required=False, default="unassigned"),
             ArgSpec("cls", ArgType.STRING, required=False, default="ACEService"),
+            ArgSpec("fwd", ArgType.INTEGER, required=False, default=0),
             description="enter the directory and receive a lease",
         )
-        sem.define("deregister", ArgSpec("name", ArgType.STRING))
-        sem.define("renewLease", ArgSpec("name", ArgType.STRING))
+        sem.define(
+            "deregister",
+            ArgSpec("name", ArgType.STRING),
+            ArgSpec("fwd", ArgType.INTEGER, required=False, default=0),
+        )
+        sem.define(
+            "renewLease",
+            ArgSpec("name", ArgType.STRING, required=False),
+            ArgSpec("names", ArgType.VECTOR, required=False),
+            ArgSpec("fwd", ArgType.INTEGER, required=False, default=0),
+            description="renew one lease, or a whole host's in one command",
+        )
         sem.define(
             "lookup",
             ArgSpec("name", ArgType.STRING, required=False),
             ArgSpec("cls", ArgType.STRING, required=False),
             ArgSpec("room", ArgType.STRING, required=False),
+            ArgSpec("offset", ArgType.INTEGER, required=False, default=0),
             description="find services by name, class path segment, and/or room",
         )
-        sem.define("listServices")
+        sem.define("listServices", ArgSpec("offset", ArgType.INTEGER, required=False, default=0))
+        sem.define(
+            "dirReplicate",
+            ArgSpec("entries", ArgType.VECTOR),
+            description="peer-to-peer versioned mutation propagation",
+        )
+        sem.define("dirDigest", description="name|version listing for anti-entropy")
+        sem.define("dirFetch", ArgSpec("names", ArgType.VECTOR))
+        sem.define("dirStats")
+
+    def set_group(self, group: List[Address]) -> None:
+        """Install the replica group (every member, leader first)."""
+        self.group = list(group)
+
+    @property
+    def peers(self) -> List[Address]:
+        return [a for a in self.group if a != self.address]
+
+    @property
+    def is_leader(self) -> bool:
+        return not self.group or self.group[0] == self.address
 
     def on_started(self) -> None:
         self._spawn(self._sweep_loop(), "lease-sweep")
+        if self.peers:
+            self._spawn(self._anti_entropy_loop(), "anti-entropy")
 
     # ------------------------------------------------------------------
+    # Registry state (sorted index + lease bookkeeping)
+    # ------------------------------------------------------------------
     def _lease_expired(self, name: str) -> None:
-        self.records.pop(name, None)
+        # Expiry is deterministic across replicas: ``expires_at`` is part
+        # of the replicated entry, so every replica purges on its own sweep
+        # without any cross-replica message.
+        if self.records.pop(name, None) is not None:
+            self._index_remove(name)
+        self._entries.pop(name, None)
         self.ctx.trace.emit(self.ctx.sim.now, self.name, "lease-expired", service=name)
+
+    def _index_add(self, name: str) -> None:
+        pos = bisect.bisect_left(self._names, name)
+        if pos == len(self._names) or self._names[pos] != name:
+            self._names.insert(pos, name)
+
+    def _index_remove(self, name: str) -> None:
+        pos = bisect.bisect_left(self._names, name)
+        if pos < len(self._names) and self._names[pos] == name:
+            del self._names[pos]
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
 
     def _sweep_loop(self) -> Generator:
         """Purge lapsed leases even when no queries arrive."""
         interval = max(self.ctx.lease_duration * 0.25, 0.05)
         while self.running:
             yield self.ctx.sim.timeout(interval)
-            self.leases.expire(self.ctx.sim.now)
+            now = self.ctx.sim.now
+            self.leases.expire(now)
+            self._prune_tombstones(now)
+
+    def _prune_tombstones(self, now: float) -> None:
+        horizon = 3 * self.ctx.lease_duration
+        stale = [
+            name
+            for name, entry in self._entries.items()
+            if entry.deleted and now - entry.expires_at > horizon
+        ]
+        for name in stale:
+            del self._entries[name]
+
+    def _fresh_names(self) -> List[str]:
+        """The sorted live-service index, after a lazy lease sweep.  No
+        per-query re-sort: ``_names`` is maintained on every mutation."""
+        self.leases.expire(self.ctx.sim.now)
+        return self._names
 
     def _fresh_records(self) -> List[ServiceRecord]:
-        self.leases.expire(self.ctx.sim.now)
-        return [self.records[name] for name in sorted(self.records)]
+        return [self.records[name] for name in self._fresh_names()]
 
     # ------------------------------------------------------------------
-    # Handlers
+    # Mutations (coordinator side)
     # ------------------------------------------------------------------
-    def cmd_register(self, request: Request) -> dict:
+    def _apply_entry(self, entry: DirEntry) -> bool:
+        """LWW-apply a (possibly remote) entry; True when it won."""
+        name = entry.record.name
+        existing = self._entries.get(name)
+        if existing is not None and existing.version >= entry.version:
+            return False
+        self._seq = max(self._seq, entry.seq)
+        self._entries[name] = entry
+        if entry.deleted or not entry.expires_at > self.ctx.sim.now:
+            if self.records.pop(name, None) is not None:
+                self._index_remove(name)
+            self.leases.release(name)
+        else:
+            if name not in self.records:
+                self._index_add(name)
+            self.records[name] = entry.record
+            self.leases.grant_until(name, entry.expires_at, renewals=entry.renewals)
+        return True
+
+    def _forward_to_leader(self, command: ACECmdLine) -> Generator:
+        """Send a client write to the leader; None when it is unreachable
+        (the caller then coordinates locally — availability first).
+
+        A failed forward starts a cooldown during which further writes
+        bypass the leader without probing it: every probe of a dead leader
+        costs the full connect timeout, and a follower that stalls on one
+        looks dead to *its* clients (their attempt timers keep running
+        while we wait)."""
+        from repro.lang.command import RESERVED_ARGS
+
+        now = self.ctx.sim.now
+        if now < self._leader_down_until:
+            return None
+        leader = self.group[0]
+        forward = command.without_args(*RESERVED_ARGS).with_args(fwd=1)
+        client = self._service_client()
+        try:
+            reply = yield from client.call_resilient(
+                leader, forward, policy=FORWARD_POLICY, check=False, attach=False
+            )
+            self.forwarded_writes += 1
+            self._m_forwarded.inc()
+            self._leader_down_until = 0.0
+            return reply
+        except (CallError, ConnectionClosed, ConnectionRefused):
+            self._leader_down_until = self.ctx.sim.now + max(self.sync_interval, 1.0)
+            self.ctx.trace.emit(
+                self.ctx.sim.now, self.name, "leader-bypass", cmd=command.name
+            )
+            return None
+
+    def _replicate_entries(self, entries: List[DirEntry]) -> None:
+        """Asynchronously push mutations to every peer (best effort; the
+        anti-entropy loop repairs whatever a crashed peer misses)."""
+        if not entries or not self.peers:
+            return
+        wires = tuple(e.to_wire() for e in entries)
+        for peer in self.peers:
+            self._spawn(self._push_to_peer(peer, wires), "replicate")
+
+    def _push_to_peer(self, peer: Address, wires: tuple) -> Generator:
+        client = self._service_client()
+        try:
+            yield from client.call_once(
+                peer, ACECmdLine("dirReplicate", entries=wires), attach=False
+            )
+            self.replications_sent += 1
+            self._m_repl_sent.inc()
+        except (CallError, ConnectionClosed, ConnectionRefused):
+            self._m_repl_failed.inc()
+
+    # ------------------------------------------------------------------
+    # Anti-entropy (restart convergence)
+    # ------------------------------------------------------------------
+    def _anti_entropy_loop(self) -> Generator:
+        from repro.net.host import HostDownError
+
+        index = 0
+        while self.running:
+            yield self.ctx.sim.timeout(self.sync_interval)
+            peers = self.peers
+            if not peers or not self.running:
+                continue
+            peer = peers[index % len(peers)]
+            index += 1
+            try:
+                yield from self._sync_with(peer)
+                self.syncs_completed += 1
+                self._m_syncs.inc()
+            except HostDownError:
+                return  # our own host died; the daemon is gone
+            except (CallError, ConnectionClosed, ConnectionRefused):
+                continue
+
+    def _sync_with(self, peer: Address) -> Generator:
+        """Pull anything the peer has that is newer than our copy."""
+        client = self._service_client()
+        conn = yield from client.connect(peer, attach=False)
+        try:
+            digest_reply = yield from conn.call(ACECmdLine("dirDigest"))
+            listing = digest_reply.get("entries", ())
+            wanted: List[str] = []
+            for line in listing if isinstance(listing, tuple) else ():
+                name, seq, site = _split_wire(line)
+                ours = self._entries.get(name)
+                if ours is None or ours.version < (int(seq), site):
+                    wanted.append(name)
+            for start in range(0, len(wanted), self.LOOKUP_CHUNK):
+                batch = tuple(wanted[start : start + self.LOOKUP_CHUNK])
+                reply = yield from conn.call(ACECmdLine("dirFetch", names=batch))
+                wires = reply.get("entries", ())
+                for wire in wires if isinstance(wires, tuple) else ():
+                    if self._apply_entry(DirEntry.from_wire(wire)):
+                        self.replications_applied += 1
+                        self._m_repl_applied.inc()
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    # Handlers: writes
+    # ------------------------------------------------------------------
+    def cmd_register(self, request: Request) -> Generator:
         cmd = request.command
         record = ServiceRecord(
             name=cmd.str("name"),
@@ -131,53 +411,279 @@ class ServiceDirectoryDaemon(ACEDaemon):
             room=cmd.str("room"),
             cls=cmd.str("cls"),
         )
-        self.records[record.name] = record
+        if not cmd.int("fwd", 0) and not self.is_leader:
+            reply = yield from self._forward_to_leader(cmd)
+            if reply is not None:
+                return reply
+        self.coordinated_writes += 1
         lease = self.leases.grant(record.name, self.ctx.sim.now)
+        entry = DirEntry(
+            record=record, expires_at=lease.expires_at,
+            seq=self._next_seq(), site=self.name,
+        )
+        self._entries[record.name] = entry
+        if record.name not in self.records:
+            self._index_add(record.name)
+        self.records[record.name] = record
+        self._replicate_entries([entry])
         self.ctx.trace.emit(
             self.ctx.sim.now, self.name, "service-registered",
             service=record.name, cls=record.cls,
         )
         return {"lease": float(lease.duration)}
 
-    def cmd_deregister(self, request: Request) -> dict:
-        name = request.command.str("name")
+    def cmd_deregister(self, request: Request) -> Generator:
+        cmd = request.command
+        name = cmd.str("name")
+        if not cmd.int("fwd", 0) and not self.is_leader:
+            reply = yield from self._forward_to_leader(cmd)
+            if reply is not None:
+                return reply
+        self.coordinated_writes += 1
         existed = self.leases.release(name)
-        self.records.pop(name, None)
+        previous = self._entries.get(name)
+        record = self.records.pop(name, None)
+        if record is not None:
+            self._index_remove(name)
+        elif previous is not None:
+            record = previous.record
+        if record is not None:
+            tombstone = DirEntry(
+                record=record, expires_at=self.ctx.sim.now,
+                seq=self._next_seq(), site=self.name, deleted=True,
+            )
+            self._entries[name] = tombstone
+            self._replicate_entries([tombstone])
         if existed:
             self.ctx.trace.emit(self.ctx.sim.now, self.name, "service-deregistered", service=name)
         return {"removed": 1 if existed else 0}
 
-    def cmd_renewLease(self, request: Request) -> dict:
-        name = request.command.str("name")
-        self.leases.expire(self.ctx.sim.now)
-        lease = self.leases.renew(name, self.ctx.sim.now)
-        if lease is None:
-            raise ServiceError(f"no active lease for {name!r}; re-register")
-        return {"lease": float(lease.duration), "renewals": lease.renewals}
+    def cmd_renewLease(self, request: Request) -> Generator:
+        cmd = request.command
+        single = cmd.get("name")
+        batch = cmd.get("names")
+        if single is None and batch is None:
+            raise ServiceError("renewLease needs name= or names=(...)")
+        if not cmd.int("fwd", 0) and not self.is_leader:
+            reply = yield from self._forward_to_leader(cmd)
+            if reply is not None:
+                return reply
+        self.coordinated_writes += 1
+        now = self.ctx.sim.now
+        self.leases.expire(now)
+        targets = list(batch) if batch is not None else [single]
+        renewed: List[str] = []
+        missing: List[str] = []
+        changed: List[DirEntry] = []
+        last_lease = None
+        for name in targets:
+            lease = self.leases.renew(name, now)
+            entry = self._entries.get(name)
+            if lease is None or entry is None or entry.deleted:
+                missing.append(name)
+                continue
+            entry.expires_at = lease.expires_at
+            entry.renewals = lease.renewals
+            entry.seq = self._next_seq()
+            entry.site = self.name
+            renewed.append(name)
+            changed.append(entry)
+            last_lease = lease
+        self._replicate_entries(changed)
+        if single is not None and batch is None:
+            if last_lease is None:
+                raise ServiceError(f"no active lease for {single!r}; re-register")
+            return {"lease": float(last_lease.duration), "renewals": last_lease.renewals}
+        result: dict = {"count": len(renewed)}
+        if renewed:
+            result["renewed"] = tuple(renewed)
+            result["lease"] = float(self.leases.duration)
+        if missing:
+            result["missing"] = tuple(missing)
+        return result
+
+    # ------------------------------------------------------------------
+    # Handlers: queries (paged)
+    # ------------------------------------------------------------------
+    def _paged_reply(self, matches: List[ServiceRecord], offset: int) -> dict:
+        """Bound every reply to ``LOOKUP_CHUNK`` records; ``next`` carries
+        the continuation offset and ``ttl`` the chunk's cache horizon."""
+        total = len(matches)
+        offset = max(offset, 0)
+        chunk = matches[offset : offset + self.LOOKUP_CHUNK]
+        result: dict = {"count": total}
+        if chunk:
+            now = self.ctx.sim.now
+            result["services"] = tuple(r.to_wire() for r in chunk)
+            horizons = [
+                self._entries[r.name].expires_at
+                for r in chunk
+                if r.name in self._entries
+            ]
+            if horizons:
+                result["ttl"] = float(max(min(horizons) - now, 0.0))
+        if offset + self.LOOKUP_CHUNK < total:
+            result["next"] = offset + self.LOOKUP_CHUNK
+        return result
 
     def cmd_lookup(self, request: Request) -> dict:
         cmd = request.command
         name = cmd.get("name")
         cls_query = cmd.get("cls")
         room = cmd.get("room")
+        names = self._fresh_names()
+        if name is not None:
+            # Point query: O(1) on the primary key, no scan at all.
+            record = self.records.get(name)
+            candidates = [record] if record is not None else []
+        else:
+            candidates = [self.records[n] for n in names]
         matches = [
             r
-            for r in self._fresh_records()
+            for r in candidates
             if (name is None or r.name == name)
             and (cls_query is None or r.matches_class(cls_query))
             and (room is None or r.room == room)
         ]
-        result: dict = {"count": len(matches)}
-        if matches:
-            result["services"] = tuple(r.to_wire() for r in matches)
-        return result
+        return self._paged_reply(matches, cmd.int("offset", 0))
 
     def cmd_listServices(self, request: Request) -> dict:
-        records = self._fresh_records()
-        result: dict = {"count": len(records)}
-        if records:
-            result["services"] = tuple(r.to_wire() for r in records)
+        return self._paged_reply(self._fresh_records(), request.command.int("offset", 0))
+
+    # ------------------------------------------------------------------
+    # Handlers: replication protocol
+    # ------------------------------------------------------------------
+    def cmd_dirReplicate(self, request: Request) -> dict:
+        wires = request.command.vector("entries")
+        applied = 0
+        for wire in wires:
+            try:
+                entry = DirEntry.from_wire(wire)
+            except (ValueError, IndexError):
+                continue
+            if self._apply_entry(entry):
+                applied += 1
+                self.replications_applied += 1
+                self._m_repl_applied.inc()
+        return {"applied": applied}
+
+    def cmd_dirDigest(self, request: Request) -> dict:
+        now = self.ctx.sim.now
+        self.leases.expire(now)
+        self._prune_tombstones(now)
+        listing = tuple(
+            "|".join(
+                (_escape_field(name), str(entry.seq), _escape_field(entry.site))
+            )
+            for name, entry in sorted(self._entries.items())
+        )
+        result: dict = {"count": len(listing)}
+        if listing:
+            result["entries"] = listing
         return result
+
+    def cmd_dirFetch(self, request: Request) -> dict:
+        names = request.command.vector("names")
+        found = tuple(
+            self._entries[name].to_wire()
+            for name in names[: self.LOOKUP_CHUNK]
+            if name in self._entries
+        )
+        result: dict = {"count": len(found)}
+        if found:
+            result["entries"] = found
+        return result
+
+    def cmd_dirStats(self, request: Request) -> dict:
+        return {
+            "services": len(self.records),
+            "entries": len(self._entries),
+            "leader": 1 if self.is_leader else 0,
+            "forwarded": self.forwarded_writes,
+            "coordinated": self.coordinated_writes,
+            "replications_sent": self.replications_sent,
+            "replications_applied": self.replications_applied,
+            "syncs": self.syncs_completed,
+        }
+
+
+class DirectoryWatcherDaemon(ACEDaemon):
+    """Subscribes ``addNotification cmd=register/deregister`` on every
+    directory replica and turns the callbacks into targeted
+    :class:`~repro.core.lookup_cache.LookupCache` invalidations — the
+    push half of the client cache's coherence story (the pull half is the
+    lease-TTL expiry)."""
+
+    service_type = "DirectoryWatcher"
+
+    def __init__(self, ctx, name, host, **kwargs):
+        kwargs.setdefault("authorize_commands", False)
+        kwargs.setdefault("register_with_asd", False)
+        super().__init__(ctx, name, host, **kwargs)
+        self.invalidations = 0
+        self.subscribed = 0
+
+    def build_semantics(self, sem: CommandSemantics) -> None:
+        sem.define(
+            "dirChanged",
+            ArgSpec("source", ArgType.STRING),
+            ArgSpec("trigger", ArgType.WORD),
+            ArgSpec("principal", ArgType.STRING),
+            ArgSpec("args", ArgType.STRING, required=False, default=""),
+            description="directory mutation callback (Fig. 8 step 3)",
+        )
+
+    def on_started(self) -> None:
+        self.ctx.lookup_cache.enabled = True
+        self._spawn(self._subscribe(), "subscribe")
+
+    def _subscribe(self) -> Generator:
+        client = self._service_client()
+        for address in self.ctx.directory_addresses():
+            for watched in ("register", "deregister"):
+                command = ACECmdLine(
+                    "addNotification",
+                    cmd=watched,
+                    listener=self.name,
+                    host=self.host.name,
+                    port=self.port,
+                    callback="dirChanged",
+                )
+                try:
+                    yield from client.call_once(address, command)
+                    self.subscribed += 1
+                except (CallError, ConnectionClosed, ConnectionRefused):
+                    self.ctx.trace.emit(
+                        self.ctx.sim.now, self.name, "watch-failed", asd=str(address)
+                    )
+
+    def cmd_dirChanged(self, request: Request) -> dict:
+        cmd = request.command
+        trigger = cmd.str("trigger")
+        payload = cmd.str("args", "")
+        cache = self.ctx.lookup_cache
+        purged = 0
+        try:
+            from repro.lang import parse_command
+
+            original = parse_command(payload)
+        except Exception:
+            original = None
+        if original is None or "name" not in original:
+            purged = cache.invalidate_all()
+        elif trigger == "register":
+            record = ServiceRecord(
+                name=original.str("name"),
+                host=original.str("host", ""),
+                port=original.int("port", 0),
+                room=original.str("room", "unassigned"),
+                cls=original.str("cls", "ACEService"),
+            )
+            purged = cache.invalidate_record(record)
+        else:
+            purged = cache.invalidate_service(original.str("name"))
+        self.invalidations += purged
+        return {"purged": purged}
 
 
 #: Lookups are latency-sensitive but easy to retry: short attempts, tight
@@ -190,10 +696,49 @@ LOOKUP_POLICY = CallPolicy(
     backoff_max=0.5,
 )
 
+#: Per-replica shape when failing over across the directory group: one
+#: quick attempt per replica — the next replica *is* the retry.
+LOOKUP_FAILOVER_POLICY = CallPolicy(
+    deadline=2.0,
+    attempt_timeout=1.0,
+    max_attempts=1,
+    backoff_base=0.05,
+    backoff_max=0.2,
+)
+
+#: Follower → leader write forwarding: a single bounded attempt; on
+#: failure the follower coordinates the write itself.  The budget must
+#: stay well under the *client's* per-replica attempt timeout (1.0s in
+#: the failover policies): a follower stalling on a dead leader would
+#: otherwise time the client out and open its breaker on the one healthy
+#: replica.  (A SYN to a crashed host burns the whole connect timeout in
+#: this network model, so "try the leader" is never cheap when it's dead —
+#: see also the forward cooldown in ``_forward_to_leader``.)
+FORWARD_POLICY = CallPolicy(
+    deadline=0.4,
+    attempt_timeout=0.4,
+    max_attempts=1,
+    backoff_base=0.05,
+    backoff_max=0.2,
+    breaker_threshold=0,
+)
+
+
+def _directory_targets(client: ServiceClient, asd_address: Optional[Address]) -> List[Address]:
+    """The replica addresses a lookup should try: the context's group when
+    the explicit address belongs to it (or none was given), else just the
+    explicitly named directory (tests point clients at bespoke ASDs)."""
+    group = client.ctx.directory_addresses()
+    if asd_address is None:
+        return group
+    if any(a == asd_address for a in group):
+        return group
+    return [asd_address]
+
 
 def asd_lookup(
     client: ServiceClient,
-    asd_address: Address,
+    asd_address: Optional[Address] = None,
     *,
     name: Optional[str] = None,
     cls: Optional[str] = None,
@@ -201,16 +746,22 @@ def asd_lookup(
     policy: Optional[CallPolicy] = None,
     use_cache: bool = True,
 ) -> Generator:
-    """Convenience: query the ASD, return a list of :class:`ServiceRecord`.
+    """Convenience: query the directory, return :class:`ServiceRecord`\\ s.
 
-    This is the Fig. 7 client flow: ask the well-known ASD socket, get back
-    machine:port addresses, connect directly.
+    This is the Fig. 7 client flow — with three scale-out layers on top:
 
-    Calls ride the resilient RPC policy (deadline, retries, breaker).  When
-    the ASD is unreachable and ``use_cache`` is set, the last non-empty
-    result for the same query is returned instead of raising — stale
-    addresses beat no addresses, and a dead endpoint in the cached list is
-    caught by the caller's own connect failure.
+    1. the shared :class:`~repro.core.lookup_cache.LookupCache` answers
+       steady-state queries without touching the wire (TTL = the minimum
+       remaining lease the directory reported, so the cache can never be
+       staler than the lease mechanism already tolerates);
+    2. wire queries fail over across every directory replica, so lookups
+       survive 1–2 replica crashes;
+    3. chunked replies are paged transparently (``next``/``offset``).
+
+    When every replica is unreachable and ``use_cache`` is set, the last
+    known-good result for the same query is returned instead of raising —
+    stale addresses beat no addresses, and a dead endpoint in the cached
+    list is caught by the caller's own connect failure.
     """
     args = {}
     if name is not None:
@@ -219,32 +770,69 @@ def asd_lookup(
         args["cls"] = cls
     if room is not None:
         args["room"] = room
-    registry = client.ctx.resilience
-    key = (str(asd_address), name or "", cls or "", room or "")
+    ctx = client.ctx
+    registry = ctx.resilience
+    key = query_key(name, cls, room)
+    # The TTL cache is only coherent with its invalidation watcher running
+    # (``LookupCache.enabled``); the last-known-good fallback below needs
+    # no coherence — it only answers when every replica is unreachable.
+    ttl_cache = use_cache and ctx.lookup_cache.enabled
+    if ttl_cache:
+        cached = ctx.lookup_cache.get(key, ctx.sim.now)
+        if cached is not None:
+            return list(cached)
+    targets = _directory_targets(client, asd_address)
+    if not targets:
+        raise CallError("no directory address configured")
+    per_replica = policy or (
+        LOOKUP_FAILOVER_POLICY if len(targets) > 1 else LOOKUP_POLICY
+    )
+    records: List[ServiceRecord] = []
+    ttl: Optional[float] = None
+    offset = 0
     try:
-        reply = yield from client.call_resilient(
-            asd_address, ACECmdLine("lookup", args), policy=policy or LOOKUP_POLICY
-        )
+        while True:
+            page_args = dict(args)
+            if offset:
+                page_args["offset"] = offset
+            reply = yield from client.call_failover(
+                targets, ACECmdLine("lookup", page_args), policy=per_replica
+            )
+            wires = reply.get("services", ())
+            records.extend(
+                ServiceRecord.from_wire(w)
+                for w in (wires if isinstance(wires, tuple) else ())
+            )
+            page_ttl = reply.get("ttl")
+            if isinstance(page_ttl, (int, float)):
+                ttl = page_ttl if ttl is None else min(ttl, page_ttl)
+            nxt = reply.get("next")
+            if not isinstance(nxt, int) or nxt <= offset:
+                break
+            offset = nxt
     except (CallError, ConnectionClosed, ConnectionRefused):
         cached = registry.recall_lookup(key) if use_cache else None
         if cached is None:
             raise
         registry.stats.lookup_fallbacks += 1
-        client.ctx.trace.emit(
-            client.ctx.sim.now, client.principal, "lookup-fallback",
-            asd=str(asd_address), records=len(cached),
+        ctx.trace.emit(
+            ctx.sim.now, client.principal, "lookup-fallback",
+            asd=str(targets[0]), records=len(cached),
         )
         return list(cached)
-    wires = reply.get("services", ())
-    records = [
-        ServiceRecord.from_wire(w) for w in (wires if isinstance(wires, tuple) else ())
-    ]
+    if offset:
+        # Pages may have come from different replicas after a failover;
+        # keep the first copy of any record seen twice.
+        seen: set = set()
+        records = [r for r in records if not (r.name in seen or seen.add(r.name))]
     if use_cache and records:
         registry.remember_lookup(key, records)
+        if ttl_cache and ttl is not None:
+            ctx.lookup_cache.put(key, records, ctx.sim.now, ttl)
     return records
 
 
-def asd_lookup_one(client, asd_address, **query) -> Generator:
+def asd_lookup_one(client, asd_address=None, **query) -> Generator:
     """Like :func:`asd_lookup` but returns exactly one record or raises."""
     records = yield from asd_lookup(client, asd_address, **query)
     if not records:

@@ -75,10 +75,30 @@ def decode_attrs(text: str) -> Dict[str, str]:
         key, sep, value = pair.partition("=")
         if not sep:
             raise NamespaceError(f"malformed attribute pair {pair!r}")
-        attrs[key] = (
-            value.replace("\\e", "=").replace("\\a", "&").replace("\\\\", "\\")
-        )
+        attrs[key] = _unescape_value(value)
     return attrs
+
+
+_UNESCAPE = {"\\": "\\", "a": "&", "e": "="}
+
+
+def _unescape_value(value: str) -> str:
+    # One left-to-right scan: chained str.replace is order-sensitive and
+    # mis-decodes values where an escaped backslash precedes a literal
+    # 'a'/'e' (encode("\\a") -> "\\\\a", whose tail "\\a" a later replace
+    # would wrongly turn back into "&").
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append(_UNESCAPE.get(nxt, nxt))
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
 
 
 def _split_unescaped(text: str, sep: str) -> List[str]:

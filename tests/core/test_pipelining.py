@@ -1,0 +1,323 @@
+"""Pipelined RPC, connection pooling, and batched lease renewal.
+
+The scale-out RPC layer's contracts, regression-tested:
+
+* k in-flight tagged commands on ONE channel come back matched to their
+  callers even when replies arrive out of order, under link loss, and
+  under latency jitter;
+* a mid-pipeline transport death fails ONLY the in-flight calls —
+  completed calls keep their replies and a fresh pipeline works
+  immediately;
+* the pool reuses attached channels (and discards suspect ones);
+* hosts renew all their leases in one ``renewLease names=(...)`` batch,
+  re-registering any the directory reports missing.
+"""
+
+import pytest
+
+from repro.core.policy import DeadlineExceeded, TransportError
+from repro.lang import ACECmdLine
+from tests.core.conftest import AceFixture, EchoDaemon
+
+
+def _counter(ace, name):
+    return ace.ctx.obs.metrics.counter(name)
+
+
+# ----------------------------------------------------------------------
+# Tag matching
+# ----------------------------------------------------------------------
+def test_pipelined_replies_match_tags(ace_with_echo):
+    ace, echo = ace_with_echo
+    k = 8
+    results = {}
+
+    def one(pipe, i):
+        # Mixed handler times from concurrent callers sharing one channel:
+        # every caller must get exactly its own reply back.
+        delay = (k - i) * 0.05
+        reply = yield from pipe.call(
+            ACECmdLine("slowEcho", text=f"msg{i}", delay=delay)
+        )
+        results[i] = reply.get("text")
+
+    def scenario():
+        client = ace.client(principal="pipeliner")
+        pipe = yield from client.pipelined(echo.address, max_inflight=k)
+        procs = [ace.sim.process(one(pipe, i)) for i in range(k)]
+        yield ace.sim.all_of(procs)
+        return pipe
+
+    pipe = ace.run(scenario())
+    assert results == {i: f"msg{i}" for i in range(k)}
+    assert pipe.inflight == 0
+    assert _counter(ace, "rpc.pipeline.matched").value >= k
+
+
+def test_pipelining_beats_serial_round_trips(ace_with_echo):
+    # The point of the tagged pipeline: k commands pay ~one round trip of
+    # latency between them instead of k full round trips.  (Handlers still
+    # execute serially on the daemon's single command thread — §2.1.1 —
+    # so the win is the eliminated per-command wire gaps, as with Redis
+    # pipelining against a single-threaded server.)
+    ace, echo = ace_with_echo
+    k = 16
+    # A client across the backbone (~2ms each way): per-command round
+    # trips dominate, which is exactly the regime pipelining targets.
+    far = ace.net.make_host("far", room="away", segment="wan")
+
+    def serial():
+        client = ace.client(far, principal="serial")
+        conn = yield from client.connect(echo.address)
+        t0 = ace.sim.now
+        for i in range(k):
+            reply = yield from conn.call(ACECmdLine("echo", text=f"s{i}"))
+            assert reply.get("text") == f"s{i}"
+        conn.close()
+        return ace.sim.now - t0
+
+    def pipelined():
+        client = ace.client(far, principal="pipe")
+        pipe = yield from client.pipelined(echo.address, max_inflight=k)
+
+        def one(i):
+            reply = yield from pipe.call(ACECmdLine("echo", text=f"p{i}"))
+            assert reply.get("text") == f"p{i}"
+
+        t0 = ace.sim.now
+        yield ace.sim.all_of([ace.sim.process(one(i)) for i in range(k)])
+        return ace.sim.now - t0
+
+    t_serial = ace.run(serial())
+    t_pipe = ace.run(pipelined())
+    assert t_pipe < t_serial * 0.6, (t_pipe, t_serial)
+
+
+def test_pipelined_backpressure_bounds_inflight(ace_with_echo):
+    ace, echo = ace_with_echo
+    peak = []
+
+    def one(pipe, i):
+        reply = yield from pipe.call(ACECmdLine("slowEcho", text=str(i), delay=0.2))
+        assert reply.get("text") == str(i)
+
+    def watcher(pipe):
+        for _ in range(40):
+            peak.append(pipe.inflight)
+            yield ace.sim.timeout(0.05)
+
+    def scenario():
+        client = ace.client(principal="bp")
+        pipe = yield from client.pipelined(echo.address, max_inflight=3)
+        procs = [ace.sim.process(one(pipe, i)) for i in range(10)]
+        ace.sim.process(watcher(pipe))
+        yield ace.sim.all_of(procs)
+        return pipe
+
+    pipe = ace.run(scenario())
+    assert max(peak) <= 3          # the slot gate held
+    assert pipe.inflight == 0      # and drained completely
+
+
+# ----------------------------------------------------------------------
+# Loss + latency jitter
+# ----------------------------------------------------------------------
+def test_pipelined_matching_survives_loss_and_jitter(ace_with_echo):
+    ace, echo = ace_with_echo
+    bar = ace.net.host("bar")
+    attempts_taken = []
+
+    def scenario():
+        client = ace.client(principal="lossy")
+        pipe = yield from client.pipelined(echo.address, max_inflight=4)
+        # A path lossy enough to eat requests AND replies, plus a latency
+        # spike halfway through (gray failure, not a clean cut).
+        ace.net.set_link_fault("infra", "bar", loss=0.3)
+        for i in range(12):
+            if i == 6:
+                bar.degrade(latency_mult=5.0)
+            if i == 9:
+                bar.degrade(latency_mult=1.0)
+            for attempt in range(10):
+                if pipe.closed:
+                    pipe = yield from client.pipelined(echo.address, max_inflight=4)
+                try:
+                    reply = yield from pipe.call(
+                        ACECmdLine("echo", text=f"lossy{i}"), timeout=0.8
+                    )
+                except DeadlineExceeded:
+                    continue       # lost request or reply: re-issue
+                # The invariant under fire: never someone else's reply.
+                assert reply.get("text") == f"lossy{i}"
+                attempts_taken.append(attempt + 1)
+                break
+            else:
+                pytest.fail(f"call {i} never completed in 10 attempts")
+        ace.net.clear_link_fault("infra", "bar")
+        reply = yield from pipe.call(ACECmdLine("echo", text="clean"))
+        assert reply.get("text") == "clean"
+
+    ace.run(scenario(), timeout=300.0)
+    assert len(attempts_taken) == 12
+    assert max(attempts_taken) > 1     # the fault actually bit
+
+
+def test_late_reply_is_discarded_not_mispaired(ace_with_echo):
+    ace, echo = ace_with_echo
+    discarded = _counter(ace, "rpc.pipeline.discarded")
+
+    def scenario():
+        client = ace.client(principal="late")
+        pipe = yield from client.pipelined(echo.address, max_inflight=4)
+        # This reply arrives ~1s from now, long after the caller gave up.
+        with pytest.raises(DeadlineExceeded):
+            yield from pipe.call(
+                ACECmdLine("slowEcho", text="too-slow", delay=1.0), timeout=0.2
+            )
+        yield ace.sim.timeout(1.5)     # the orphaned reply lands here...
+        # ...and must NOT be paired with the next call on the channel.
+        reply = yield from pipe.call(ACECmdLine("echo", text="fresh"))
+        assert reply.get("text") == "fresh"
+
+    ace.run(scenario())
+    assert discarded.value >= 1
+
+
+# ----------------------------------------------------------------------
+# Mid-pipeline transport death
+# ----------------------------------------------------------------------
+def test_midpipeline_crash_fails_only_inflight_calls():
+    ace = AceFixture(seed=2).boot()
+    host = ace.net.make_host("bar", room="hawk")
+    echo = EchoDaemon(ace.ctx, "echo1", host, room="hawk")
+    ace.add_daemon(echo)
+    echo.start()
+    ace.sim.run(until=ace.sim.now + 1.0)
+
+    outcomes = {}
+
+    def one(pipe, i, delay):
+        try:
+            reply = yield from pipe.call(
+                ACECmdLine("slowEcho", text=f"call{i}", delay=delay)
+            )
+            outcomes[i] = ("ok", reply.get("text"))
+        except TransportError:
+            outcomes[i] = ("transport-error", None)
+
+    def crasher():
+        yield ace.sim.timeout(0.5)
+        ace.net.crash_host("bar")
+
+    def scenario():
+        client = ace.client(principal="crashy")
+        pipe = yield from client.pipelined(echo.address, max_inflight=4)
+        ace.sim.process(crasher())
+        # Fast pair first (handlers run serially: done well before 0.5s)...
+        procs = [
+            ace.sim.process(one(pipe, 0, 0.05)),
+            ace.sim.process(one(pipe, 1, 0.05)),
+        ]
+        yield ace.sim.timeout(0.3)
+        # ...slow pair issued second, still in flight when the host dies.
+        procs += [
+            ace.sim.process(one(pipe, 2, 2.0)),
+            ace.sim.process(one(pipe, 3, 2.0)),
+        ]
+        yield ace.sim.all_of(procs)
+        return client
+
+    client = ace.run(scenario())
+    # Completed calls kept their replies; only the in-flight pair failed.
+    assert outcomes[0] == ("ok", "call0")
+    assert outcomes[1] == ("ok", "call1")
+    assert outcomes[2] == ("transport-error", None)
+    assert outcomes[3] == ("transport-error", None)
+
+    # A fresh pipeline to the relaunched service works immediately.
+    ace.net.restart_host("bar")
+    reborn = EchoDaemon(ace.ctx, "echo1b", host, room="hawk", port=echo.address.port)
+    reborn.start()
+    ace.sim.run(until=ace.sim.now + 1.0)
+
+    def after():
+        reply = yield from client.call_pipelined(
+            echo.address, ACECmdLine("echo", text="reborn")
+        )
+        return reply.get("text")
+
+    assert ace.run(after()) == "reborn"
+
+
+# ----------------------------------------------------------------------
+# Connection pooling
+# ----------------------------------------------------------------------
+def test_pool_reuses_channels_and_discards_suspects(ace_with_echo):
+    ace, echo = ace_with_echo
+    dial = _counter(ace, "rpc.pool.dial")
+    reuse = _counter(ace, "rpc.pool.reuse")
+
+    def scenario():
+        client = ace.client(principal="pooled")
+        for i in range(5):
+            reply = yield from client.call_pooled(
+                echo.address, ACECmdLine("echo", text=f"p{i}")
+            )
+            assert reply.get("text") == f"p{i}"
+        return client
+
+    client = ace.run(scenario())
+    assert dial.value == 1            # one dial+attach...
+    assert reuse.value == 4           # ...amortised over the other calls
+
+    # A transport failure poisons the channel: it must never be re-pooled.
+    ace.net.crash_host("bar")
+
+    def failing():
+        with pytest.raises((TransportError, Exception)):
+            yield from client.call_pooled(echo.address, ACECmdLine("echo", text="x"))
+
+    ace.run(failing())
+    assert client.pool._idle.get(str(echo.address), []) == []
+
+
+# ----------------------------------------------------------------------
+# Batched lease renewal
+# ----------------------------------------------------------------------
+def test_host_renews_all_leases_in_one_batch():
+    ace = AceFixture(seed=4, lease_duration=4.0)
+    ace.ctx.batch_lease_renewals = True
+    ace.boot()
+    host = ace.net.make_host("bar", room="hawk")
+    daemons = [
+        EchoDaemon(ace.ctx, f"echo{i}", host, room="hawk") for i in (1, 2, 3)
+    ]
+    for d in daemons:
+        ace.add_daemon(d)
+        d.start()
+    ace.sim.run(until=ace.sim.now + 1.0)
+
+    sent = _counter(ace, "lease.batch.sent")
+    renewed = _counter(ace, "lease.batch.renewed")
+    ace.sim.run(until=ace.sim.now + 5.0)     # > one renewal interval (2s)
+
+    assert sent.value >= 1
+    assert renewed.value >= 3                # one batch covered the host
+    for d in daemons:
+        lease = ace.asd.leases.get(d.name)
+        assert lease is not None and lease.renewals >= 1
+
+    # The batch reply's ``missing`` list drives re-registration: drop one
+    # lease behind the daemon's back and the next batch restores it.
+    def drop():
+        client = ace.client(principal="admin")
+        yield from client.call_once(
+            ace.asd.address, ACECmdLine("deregister", name="echo2")
+        )
+
+    ace.run(drop())
+    assert "echo2" not in ace.asd.records
+    reregistered = _counter(ace, "lease.batch.reregistered")
+    ace.sim.run(until=ace.sim.now + 3.0)     # next batch interval
+    assert reregistered.value >= 1
+    assert "echo2" in ace.asd.records        # back in the directory
