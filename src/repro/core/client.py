@@ -335,7 +335,9 @@ class ConnectionPool:
     def __init__(self, client: "ServiceClient", max_idle_per_address: int = 4):
         self._client = client
         self.max_idle_per_address = max_idle_per_address
-        self._idle: dict = {}   # str(address) -> list[ServiceConnection]
+        # Keyed by the Address itself (a frozen dataclass): hashing two
+        # small fields beats formatting "host:port" on every acquire/release.
+        self._idle: dict = {}   # Address -> list[ServiceConnection]
         metrics = client.ctx.obs.metrics
         self._m_reuse = metrics.counter("rpc.pool.reuse")
         self._m_dial = metrics.counter("rpc.pool.dial")
@@ -343,7 +345,7 @@ class ConnectionPool:
 
     def acquire(self, address: Address, **connect_kw) -> Generator:
         """Check out an attached connection (reused when one is idle)."""
-        bucket = self._idle.get(str(address))
+        bucket = self._idle.get(address)
         while bucket:
             conn = bucket.pop()
             if not conn.closed:
@@ -359,7 +361,7 @@ class ConnectionPool:
         if connection.closed:
             self._m_discard.inc()
             return
-        bucket = self._idle.setdefault(str(address), [])
+        bucket = self._idle.setdefault(address, [])
         if len(bucket) >= self.max_idle_per_address:
             self._m_discard.inc()
             connection.close()
@@ -410,7 +412,7 @@ class ServiceClient:
         #: span is the fallback.  One client serves one logical flow.
         self._span_stack: list = []
         self._pool: Optional[ConnectionPool] = None
-        self._pipelines: dict = {}   # str(address) -> PipelinedConnection
+        self._pipelines: dict = {}   # Address -> PipelinedConnection
 
     # ------------------------------------------------------------------
     # Tracing (repro.obs)
@@ -508,12 +510,11 @@ class ServiceClient:
     ) -> Generator:
         """The shared pipelined channel to ``address``, dialing (or
         re-dialing after a transport death) when needed."""
-        key = str(address)
-        pipe = self._pipelines.get(key)
+        pipe = self._pipelines.get(address)
         if pipe is None or pipe.closed:
             connection = yield from self.connect(address, **connect_kw)
             pipe = PipelinedConnection(self, connection, max_inflight=max_inflight)
-            self._pipelines[key] = pipe
+            self._pipelines[address] = pipe
         return pipe
 
     def call_pipelined(

@@ -66,6 +66,11 @@ STARTUP_REGISTRATION_POLICY = CallPolicy(
 )
 
 
+#: memo of command verb -> "cmd_<verb>" so the dispatch path never
+#: allocates the attribute name per request (bounded by the vocabulary)
+_HANDLER_ATTRS: Dict[str, str] = {}
+
+
 class ServiceError(Exception):
     """Raised by handlers to produce a cmdFailed reply with a reason."""
 
@@ -114,6 +119,14 @@ class ACEDaemon:
         self.semantics = self._base_semantics()
         self.build_semantics(self.semantics)
         self.reply_semantics = reply_semantics()
+        # Handler dispatch table, built once: the control thread serves every
+        # request through this, so it must not pay getattr + f-string per
+        # command.  Handlers are bound methods keyed by verb.
+        self._dispatch = {
+            attr[4:]: getattr(self, attr)
+            for attr in dir(type(self))
+            if attr.startswith("cmd_")
+        }
         self.notifications = NotificationTable()
         self.running = False
         self._listener = None
@@ -685,7 +698,14 @@ class ACEDaemon:
                 room=self.room or "unassigned",
                 cls=self.class_path(),
             )
-        handler = getattr(self, f"cmd_{name}", None)
+        # Instance-level overrides (tests stub handlers onto live daemons)
+        # win over the init-time dispatch table.
+        attr = _HANDLER_ATTRS.get(name)
+        if attr is None:
+            attr = _HANDLER_ATTRS[name] = "cmd_" + name
+        handler = self.__dict__.get(attr)
+        if handler is None:
+            handler = self._dispatch.get(name)
         if handler is None:
             return error_reply(request.command, f"no handler for {name!r}")
         result = handler(request)

@@ -8,12 +8,15 @@ compare equal iff their names and argument mappings (including value types:
 
 from __future__ import annotations
 
+import re
+import sys
 from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
 
 from repro.lang.errors import ACELanguageError, SemanticError
-from repro.lang.values import Value, format_value, normalize_value
+from repro.lang.values import Value, format_normalized, normalize_value
 
-_NAME_OK = __import__("re").compile(r"^[A-Za-z0-9_]+$")
+_NAME_OK = re.compile(r"^[A-Za-z0-9_]+$")
+_intern = sys.intern
 
 #: the reserved argument carrying the repro.obs trace context (a WORD like
 #: ``t3_s12_s11``); reserved arguments ride on any command without being
@@ -30,7 +33,7 @@ RESERVED_ARGS = frozenset({OBS_TRACE_ARG, PIPELINE_SEQ_ARG})
 class ACECmdLine:
     """An ACE command line: ``name arg1=value1 arg2=value2 ... ;``"""
 
-    __slots__ = ("_name", "_args", "_text")
+    __slots__ = ("_name", "_args", "_text", "_key_memo", "_wire_size")
 
     def __init__(self, name: str, args: Optional[Mapping[str, Any]] = None, /, **kwargs: Any):
         if not _NAME_OK.match(name):
@@ -42,10 +45,29 @@ class ACECmdLine:
                     raise ACELanguageError(f"invalid argument name {key!r}")
                 if key in merged:
                     raise ACELanguageError(f"duplicate argument {key!r}")
-                merged[key] = normalize_value(value)
-        self._name = name
+                merged[_intern(key)] = normalize_value(value)
+        # Command and argument names repeat across millions of wire lines;
+        # interning makes later dict lookups and equality checks pointer
+        # comparisons.
+        self._name = _intern(name)
         self._args = merged
         self._text: Optional[str] = None
+        self._key_memo: Optional[Tuple] = None
+        self._wire_size: Optional[int] = None
+
+    @classmethod
+    def _from_normalized(cls, name: str, args: Dict[str, Value]) -> "ACECmdLine":
+        """Internal constructor bypass for callers that guarantee ``name``
+        and every key/value in ``args`` are already validated, interned and
+        normalized (the fast-lane parser, ``with_args``/``without_args``).
+        ``args`` ownership transfers to the new command."""
+        cmd = cls.__new__(cls)
+        cmd._name = name
+        cmd._args = args
+        cmd._text = None
+        cmd._key_memo = None
+        cmd._wire_size = None
+        return cmd
 
     # -- accessors --------------------------------------------------------
     @property
@@ -108,11 +130,15 @@ class ACECmdLine:
 
     # -- derivation ---------------------------------------------------------
     def with_args(self, **updates: Any) -> "ACECmdLine":
-        """A copy with arguments added/replaced."""
+        """A copy with arguments added/replaced.  Existing arguments are
+        reused as-is (they are already normalized); only the updates pay
+        for validation."""
         merged = dict(self._args)
         for key, value in updates.items():
-            merged[key] = value
-        return ACECmdLine(self._name, merged)
+            if key not in merged and not _NAME_OK.match(key):
+                raise ACELanguageError(f"invalid argument name {key!r}")
+            merged[_intern(key)] = normalize_value(value)
+        return ACECmdLine._from_normalized(self._name, merged)
 
     def without_args(self, *names: str) -> "ACECmdLine":
         """A copy with the named arguments removed (missing names are
@@ -121,13 +147,13 @@ class ACECmdLine:
         if not any(n in self._args for n in names):
             return self
         kept = {k: v for k, v in self._args.items() if k not in names}
-        return ACECmdLine(self._name, kept)
+        return ACECmdLine._from_normalized(self._name, kept)
 
     # -- serialization --------------------------------------------------------
     def to_string(self) -> str:
         if self._text is None:
             if self._args:
-                body = " ".join(f"{k}={format_value(v)}" for k, v in self._args.items())
+                body = " ".join(f"{k}={format_normalized(v)}" for k, v in self._args.items())
                 self._text = f"{self._name} {body};"
             else:
                 self._text = f"{self._name};"
@@ -138,14 +164,19 @@ class ACECmdLine:
 
     @property
     def wire_size(self) -> int:
-        return len(self.to_string().encode("utf-8"))
+        if self._wire_size is None:
+            self._wire_size = len(self.to_string().encode("utf-8"))
+        return self._wire_size
 
     # -- equality ---------------------------------------------------------------
     def _key(self) -> Tuple:
-        return (
-            self._name,
-            tuple(sorted((k, type(v).__name__, v) for k, v in self._args.items())),
-        )
+        key = self._key_memo
+        if key is None:
+            key = self._key_memo = (
+                self._name,
+                tuple(sorted((k, type(v).__name__, v) for k, v in self._args.items())),
+            )
+        return key
 
     def __eq__(self, other: Any) -> bool:
         if not isinstance(other, ACECmdLine):

@@ -52,17 +52,59 @@ _PATTERNS = [
 
 _SPACE_RE = re.compile(r"[ \t]+")
 
+# First-character dispatch: every pattern's possible match set is decided by
+# its first character, so instead of trying all nine patterns at every
+# position we try only the candidates for that character class.  Longest
+# match still wins within a class, with earlier patterns breaking ties —
+# identical to the exhaustive scan (regression-covered by the codec tests).
+_PUNCT = {
+    "=": TokenKind.EQUALS,
+    ",": TokenKind.COMMA,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    ";": TokenKind.SEMICOLON,
+}
+# Digits can begin FLOAT, INTEGER or WORD ("3cam"); '-' and '.' begin only
+# numbers; letters/underscore begin only WORDs; '"' begins only STRINGs.
+_NUMERIC_PATTERNS = _PATTERNS[:3]  # FLOAT, INTEGER, WORD in tie-break order
+_SIGN_PATTERNS = _PATTERNS[:2]     # FLOAT, INTEGER
+_WORD_RE = _PATTERNS[2][1]
+_STRING_RE = _PATTERNS[3][1]
+
 
 def _iter_tokens(text: str) -> Iterator[Token]:
     pos = 0
     length = len(text)
     while pos < length:
-        space = _SPACE_RE.match(text, pos)
-        if space:
-            pos = space.end()
+        ch = text[pos]
+        if ch == " " or ch == "\t":
+            pos = _SPACE_RE.match(text, pos).end()
+            continue
+        punct = _PUNCT.get(ch)
+        if punct is not None:
+            yield Token(punct, ch, pos)
+            pos += 1
+            continue
+        if ch.isdigit():
+            candidates = _NUMERIC_PATTERNS
+        elif ch == "-" or ch == ".":
+            candidates = _SIGN_PATTERNS
+        elif ch == '"':
+            match = _STRING_RE.match(text, pos)
+            if match is None:
+                raise ParseError(f"unexpected character {text[pos]!r}", pos)
+            yield Token(TokenKind.STRING, match.group(), pos)
+            pos = match.end()
+            continue
+        else:
+            match = _WORD_RE.match(text, pos)
+            if match is None:
+                raise ParseError(f"unexpected character {text[pos]!r}", pos)
+            yield Token(TokenKind.WORD, match.group(), pos)
+            pos = match.end()
             continue
         best: Token | None = None
-        for kind, pattern in _PATTERNS:
+        for kind, pattern in candidates:
             match = pattern.match(text, pos)
             if match and (best is None or match.end() > pos + len(best.text)):
                 best = Token(kind, match.group(), pos)

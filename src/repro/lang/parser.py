@@ -6,6 +6,7 @@
 from __future__ import annotations
 
 import re
+import sys
 from typing import List, Optional, Tuple
 
 from repro.lang.command import ACECmdLine
@@ -85,8 +86,85 @@ def _parse_braced(cur: _Cursor) -> Tuple:
     return tuple(items)
 
 
+# -- fast lane ---------------------------------------------------------------
+#
+# The dominant wire form by far is flat: ``name k1=v1 k2=v2;`` with scalar
+# values and no vectors, arrays, escapes, or comma separators.  The fast
+# lane recognizes exactly that shape with two compiled regexes and builds
+# the command without tokenizing; *anything* it is unsure about — including
+# every malformed input — falls back to the full tokenizer/parser so error
+# messages and accepted language are identical (property-tested).
+#
+# Equivalence notes, mirroring the lexer's rules:
+# - Bare values are classified with the lexer's own INTEGER/FLOAT/WORD
+#   regexes (fullmatch, in the lexer's tie-break order INTEGER before WORD,
+#   FLOAT before WORD so ``2e3`` stays a FLOAT) — never with Python's more
+#   permissive ``int()``/``float()`` acceptance.
+# - The bare-token charset excludes *all* whitespace (the lexer only skips
+#   space/tab; a NBSP or newline must keep falling through to the lexer's
+#   "unexpected character" error).
+# - Quoted values are accepted only without backslashes; escape handling
+#   stays in the full parser.
+# - Command names must start with a letter/underscore here: digit-led WORDs
+#   ("3cam") are legal command names but need longest-match disambiguation
+#   against INTEGER/FLOAT, so they take the slow path.
+
+_FAST_LINE_RE = re.compile(
+    r"[ \t]*([A-Za-z_][A-Za-z0-9_]*)"
+    r"((?:[ \t]+[A-Za-z0-9_]+=(?:\"[^\"\\]*\"|[^\s;{},\"=]+))*)"
+    r"[ \t]*;[ \t]*\Z"
+)
+_FAST_ARG_RE = re.compile(r"([A-Za-z0-9_]+)=(?:\"([^\"\\]*)\"|([^\s;{},\"=]+))")
+_INTEGER_FULL = re.compile(r"-?\d+\Z")
+_FLOAT_FULL = re.compile(r"(?:-?(?:\d+\.\d*|\.\d+)(?:[eE][-+]?\d+)?|-?\d+[eE][-+]?\d+)\Z")
+_WORD_FULL = re.compile(r"[A-Za-z0-9_]+\Z")
+
+_intern = sys.intern
+
+
+def _parse_fast(text: str) -> Optional[ACECmdLine]:
+    """Parse the flat form, or return None to defer to the full parser."""
+    line = _FAST_LINE_RE.match(text)
+    if line is None:
+        return None
+    args: dict = {}
+    n_args = 0
+    for match in _FAST_ARG_RE.finditer(line.group(2)):
+        n_args += 1
+        quoted = match.group(2)
+        if quoted is not None:
+            value: Value = quoted
+        else:
+            bare = match.group(3)
+            if _INTEGER_FULL.match(bare):
+                value = int(bare)
+            elif _FLOAT_FULL.match(bare):
+                value = float(bare)
+            elif _WORD_FULL.match(bare):
+                value = bare
+            else:
+                return None  # e.g. "--5": the lexer rejects it with context
+        args[_intern(match.group(1))] = value
+    if len(args) != n_args:
+        return None  # duplicate argument: full parser raises the exact error
+    return ACECmdLine._from_normalized(_intern(line.group(1)), args)
+
+
 def parse_command(text: str) -> ACECmdLine:
-    """Parse one command string, e.g. ``setPosition x=1.0 y=2.0 z=0.5;``"""
+    """Parse one command string, e.g. ``setPosition x=1.0 y=2.0 z=0.5;``
+
+    Tries the flat-form fast lane first and falls back to
+    :func:`parse_command_full` for everything else (vectors, arrays,
+    escaped strings, comma separators, and all malformed input).
+    """
+    command = _parse_fast(text)
+    if command is not None:
+        return command
+    return parse_command_full(text)
+
+
+def parse_command_full(text: str) -> ACECmdLine:
+    """The complete tokenizer + recursive-descent path (every construct)."""
     cur = _Cursor(tokenize(text))
     name_tok = cur.peek()
     if name_tok.kind is not TokenKind.WORD:

@@ -11,6 +11,7 @@ semantics *extend* its parent's.
 from __future__ import annotations
 
 import enum
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
@@ -104,6 +105,13 @@ class CommandSemantics:
         self.parent = parent
         self.strict = strict
         self._commands: Dict[str, CommandSpec] = {}
+        # Flattened parent-chain view, rebuilt lazily: daemons define their
+        # vocabulary once at startup and then look commands up per request,
+        # so lookup must be one dict probe, not a chain walk.  A define()
+        # anywhere up the chain invalidates every descendant's view.
+        self._flat: Dict[str, CommandSpec] = {}
+        self._flat_valid = False
+        self._children: "weakref.WeakSet[CommandSemantics]" = weakref.WeakSet()
 
     # -- definition -----------------------------------------------------------
     def define(
@@ -117,18 +125,38 @@ class CommandSemantics:
             raise SemanticError(f"command {name!r} already defined")
         spec = CommandSpec(name, tuple(args), description, notification)
         self._commands[name] = spec
+        self._invalidate_flat()
         return spec
+
+    def _invalidate_flat(self) -> None:
+        self._flat_valid = False
+        for child in self._children:
+            child._invalidate_flat()
+
+    def _rebuild_flat(self) -> Dict[str, CommandSpec]:
+        if self.parent is not None:
+            flat = dict(self.parent._flat_view())
+        else:
+            flat = {}
+        flat.update(self._commands)
+        self._flat = flat
+        self._flat_valid = True
+        return flat
+
+    def _flat_view(self) -> Dict[str, CommandSpec]:
+        return self._flat if self._flat_valid else self._rebuild_flat()
 
     def extend(self) -> "CommandSemantics":
         """Child semantics inheriting everything defined here (Fig. 6)."""
-        return CommandSemantics(parent=self, strict=self.strict)
+        child = CommandSemantics(parent=self, strict=self.strict)
+        self._children.add(child)
+        return child
 
     # -- lookup ------------------------------------------------------------------
     def lookup(self, name: str) -> Optional[CommandSpec]:
-        spec = self._commands.get(name)
-        if spec is None and self.parent is not None:
-            return self.parent.lookup(name)
-        return spec
+        if self._flat_valid:
+            return self._flat.get(name)
+        return self._rebuild_flat().get(name)
 
     def commands(self) -> List[str]:
         names = set(self._commands)
@@ -148,22 +176,36 @@ class CommandSemantics:
             if self.strict:
                 raise SemanticError(f"unknown command {command.name!r}")
             return command
-        seen = dict(command.args)
-        for reserved in RESERVED_ARGS:
-            seen.pop(reserved, None)
-        fills: Dict[str, Any] = {}
+        # Validate against the command's argument dict directly instead of
+        # copying it per request; reserved args are invisible to semantics,
+        # so a spec slot sharing a reserved name counts as absent.
+        present = command._args
+        fills: Optional[Dict[str, Any]] = None
+        matched = 0
         for arg_spec in spec.args:
-            if arg_spec.name in seen:
-                arg_spec.check(command.name, seen.pop(arg_spec.name))
+            arg_name = arg_spec.name
+            if arg_name in present and arg_name not in RESERVED_ARGS:
+                arg_spec.check(command.name, present[arg_name])
+                matched += 1
             elif arg_spec.required:
                 raise SemanticError(
-                    f"{command.name}: missing required argument {arg_spec.name!r}"
+                    f"{command.name}: missing required argument {arg_name!r}"
                 )
             elif arg_spec.default is not None:
-                fills[arg_spec.name] = arg_spec.default
-        if seen and self.strict:
-            unknown = ", ".join(sorted(seen))
-            raise SemanticError(f"{command.name}: unknown argument(s) {unknown}")
+                if fills is None:
+                    fills = {}
+                fills[arg_name] = arg_spec.default
+        if self.strict:
+            n_reserved = sum(1 for r in RESERVED_ARGS if r in present)
+            if matched + n_reserved < len(present):
+                declared = {s.name for s in spec.args}
+                unknown = ", ".join(
+                    sorted(
+                        k for k in present
+                        if k not in declared and k not in RESERVED_ARGS
+                    )
+                )
+                raise SemanticError(f"{command.name}: unknown argument(s) {unknown}")
         return command.with_args(**fills) if fills else command
 
 

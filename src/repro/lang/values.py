@@ -21,6 +21,7 @@ accepts lists for convenience but normalizes.
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 from typing import Any, Sequence, Tuple, Union
 
 from repro.lang.errors import ACELanguageError
@@ -62,6 +63,14 @@ def _format_scalar(value: Scalar) -> str:
             raise ACELanguageError(f"string contains non-printable characters: {value!r}")
         return f'"{escaped}"'
     raise ACELanguageError(f"unsupported ACE value type {type(value).__name__}")
+
+
+# Commands repeat the same scalars constantly (status words, coordinates,
+# sequence numbers), and formatting a string runs two regexes.  ``typed=True``
+# keeps 1, 1.0 and True from colliding as cache keys (booleans must still
+# raise).  Exceptions are not cached by lru_cache, so invalid scalars keep
+# raising on every call.
+_format_scalar_cached = lru_cache(maxsize=4096, typed=True)(_format_scalar)
 
 
 def _printable(text: str) -> bool:
@@ -123,8 +132,15 @@ def _vector_kind(vector: Tuple) -> str:
 def format_value(value: Any) -> str:
     """Serialize a (normalized or raw) value to its wire form."""
     value = normalize_value(value)
+    return format_normalized(value)
+
+
+def format_normalized(value: Value) -> str:
+    """Serialize a value that is already normalized (as produced by
+    :func:`normalize_value` or the parser) without re-validating it —
+    the hot path for ``ACECmdLine.to_string``."""
     if isinstance(value, tuple):
         if isinstance(value[0], tuple):  # ARRAY
-            return "{" + ",".join(format_value(v) for v in value) + "}"
-        return "{" + ",".join(_format_scalar(v) for v in value) + "}"
-    return _format_scalar(value)
+            return "{" + ",".join(format_normalized(v) for v in value) + "}"
+        return "{" + ",".join(_format_scalar_cached(v) for v in value) + "}"
+    return _format_scalar_cached(value)

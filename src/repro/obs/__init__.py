@@ -20,6 +20,7 @@ See README's "Observability" section and EXPERIMENTS.md E22.
 """
 
 from repro.obs.context import TraceContext, extract, inject
+from repro.obs.profiling import KERNEL_COUNTERS, ProfileScope
 from repro.obs.export import METRICS_EVENT, SPAN_EVENT, NetLoggerExporter, span_from_wire, span_to_wire
 from repro.obs.registry import (
     DEFAULT_LATENCY_BUCKETS,
@@ -49,8 +50,10 @@ __all__ = [
     "Gauge",
     "Histogram",
     "INTERNAL",
+    "KERNEL_COUNTERS",
     "METRICS_EVENT",
     "MetricsRegistry",
+    "ProfileScope",
     "NetLoggerExporter",
     "Observability",
     "PRODUCER",

@@ -1,0 +1,127 @@
+"""Hot-path profiling harness (E24).
+
+:class:`ProfileScope` wraps a code region with ``cProfile`` and snapshots
+the simulation kernel's hot-path counters (events scheduled, heap pushes,
+ready-queue hits, relay allocations avoided) before/after, so a benchmark
+or experiment can report *where the time went* and *what the scheduler
+did* in one structure.  Scopes fold their summaries into the existing
+:class:`~repro.obs.registry.MetricsRegistry` as ``profile.<name>.*`` views,
+which means they ride the same snapshot/NetLogger export path as every
+other instrument.
+
+Profiling is optional (``profile=False`` skips the cProfile overhead and
+keeps only wall time + kernel counters), because cProfile itself slows the
+profiled region several-fold — perf *measurements* use plain scopes, perf
+*investigations* use profiled ones.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+#: kernel counter names ProfileScope snapshots (see Simulator.counters())
+KERNEL_COUNTERS = (
+    "events_scheduled",
+    "heap_pushes",
+    "ready_hits",
+    "relays_avoided",
+    "events_delivered",
+)
+
+
+class ProfileScope:
+    """Context manager measuring one region of (usually simulated) work.
+
+    Parameters
+    ----------
+    name:
+        Scope label; also the metrics-view prefix (``profile.<name>``).
+    sim:
+        Optional :class:`~repro.sim.kernel.Simulator`; when given, kernel
+        counter deltas and simulated-time delta are captured.
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; when given,
+        the scope registers its summary as the view ``profile.<name>``.
+    profile:
+        Run cProfile around the region (default True).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        sim: Any = None,
+        registry: Any = None,
+        *,
+        profile: bool = True,
+    ) -> None:
+        self.name = name
+        self.sim = sim
+        self.registry = registry
+        self.wall_s = 0.0
+        self.sim_s = 0.0
+        self.counters: Dict[str, int] = {}
+        self._profiler: Optional[cProfile.Profile] = cProfile.Profile() if profile else None
+        self._before: Dict[str, int] = {}
+        self._sim_before = 0.0
+        self._t0 = 0.0
+
+    # -- context protocol ------------------------------------------------
+    def __enter__(self) -> "ProfileScope":
+        if self.sim is not None:
+            self._before = self.sim.counters()
+            self._sim_before = self.sim.now
+        self._t0 = time.perf_counter()
+        if self._profiler is not None:
+            self._profiler.enable()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._profiler is not None:
+            self._profiler.disable()
+        self.wall_s = time.perf_counter() - self._t0
+        if self.sim is not None:
+            after = self.sim.counters()
+            self.counters = {k: after[k] - self._before.get(k, 0) for k in after}
+            self.sim_s = self.sim.now - self._sim_before
+        if self.registry is not None:
+            self.registry.register_view(f"profile.{self.name}", self.summary)
+
+    # -- results ---------------------------------------------------------
+    @property
+    def events_per_s(self) -> float:
+        """Delivered kernel occurrences per wall second (0 without a sim)."""
+        delivered = self.counters.get("events_delivered", 0)
+        return delivered / self.wall_s if self.wall_s > 0 else 0.0
+
+    def summary(self) -> Dict[str, Any]:
+        """Flat scalars for the metrics view / BENCH_E24.json."""
+        out: Dict[str, Any] = {"wall_s": self.wall_s, "sim_s": self.sim_s}
+        out.update(self.counters)
+        if self.counters:
+            out["events_per_s"] = self.events_per_s
+        return out
+
+    def top_functions(self, n: int = 10) -> List[Tuple[str, int, float, float]]:
+        """The ``n`` hottest functions by internal time:
+        ``(location, calls, tottime, cumtime)`` rows."""
+        if self._profiler is None:
+            return []
+        stats = pstats.Stats(self._profiler)
+        rows: List[Tuple[str, int, float, float]] = []
+        for func, (cc, nc, tt, ct, _callers) in stats.stats.items():  # type: ignore[attr-defined]
+            filename, lineno, funcname = func
+            rows.append((f"{filename}:{lineno}({funcname})", nc, tt, ct))
+        rows.sort(key=lambda r: r[2], reverse=True)
+        return rows[:n]
+
+    def stats_table(self, n: int = 15, sort: str = "tottime") -> str:
+        """Human-readable pstats output for the top ``n`` functions."""
+        if self._profiler is None:
+            return "(profiling disabled for this scope)"
+        buf = io.StringIO()
+        pstats.Stats(self._profiler, stream=buf).sort_stats(sort).print_stats(n)
+        return buf.getvalue()

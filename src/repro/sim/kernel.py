@@ -8,11 +8,30 @@ owns the event heap and the virtual clock.
 Only the pieces ACE needs are implemented: timeouts, process spawning and
 interruption, and ``AnyOf``/``AllOf`` composition.  The scheduling order is
 total and deterministic: ``(time, priority, sequence-number)``.
+
+Hot path (E24)
+--------------
+Almost every occurrence in an ACE run is *zero-delay*: event triggers,
+queue hand-offs, process bootstraps, relays for already-processed yields,
+interrupt kicks.  Pushing each of those through the binary heap costs a
+tuple allocation plus O(log n) sift both ways.  The fast path (default;
+disable with ``ACE_KERNEL_FASTPATH=0``) instead lands zero-delay
+occurrences on per-priority FIFO **ready queues** and replaces the relay/
+bootstrap/kick ``Event`` allocations with small :class:`_Resume` records.
+
+The total order is *unchanged*: every schedule still consumes one global
+sequence number, ready entries are FIFO-by-sequence within their priority,
+and :meth:`Simulator._pop_next` compares the heap head's
+``(time, priority, seq)`` against the best ready head before popping — so
+delivery order is exactly the ``(time, priority, seq)`` min in both modes
+and same-seed traces are bit-identical (regression-tested).
 """
 
 from __future__ import annotations
 
 import heapq
+import os
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 #: Event priorities.  Lower sorts earlier at equal timestamps.
@@ -113,6 +132,42 @@ class Event:
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
+class _Resume:
+    """A ready-queue record resuming (or interrupting) a process directly.
+
+    Replaces the fast path's three throwaway ``Event`` allocations — the
+    bootstrap event in :meth:`Process.__init__`, the relay event for
+    already-processed yields in :meth:`Process._step_inner`, and the kick
+    event in :meth:`Process.interrupt` — with one four-slot record and a
+    deque append.  ``cancelled`` lets :meth:`Process._throw` revoke a
+    pending resume exactly like removing ``_resume`` from a relay's
+    callback list.
+    """
+
+    __slots__ = ("proc", "ok", "value", "kick", "cancelled")
+
+    def __init__(self, proc: "Process", ok: bool, value: Any, kick: bool = False):
+        self.proc = proc
+        self.ok = ok
+        self.value = value
+        self.kick = kick
+        self.cancelled = False
+
+    def _deliver(self) -> None:
+        if self.cancelled:
+            return
+        proc = self.proc
+        if self.kick:
+            proc._throw(Interrupt(self.value))
+            return
+        proc._pending_resume = None
+        proc._waiting_on = None
+        if self.ok:
+            proc._step(proc.generator.send, self.value)
+        else:
+            proc._step(proc.generator.throw, self.value)
+
+
 class Timeout(Event):
     """An event that fires ``delay`` simulated seconds after creation."""
 
@@ -136,13 +191,17 @@ class Process(Event):
     (value = the generator's return value) or raises (failure).
     """
 
-    __slots__ = ("generator", "name", "_waiting_on", "obs_context")
+    __slots__ = ("generator", "name", "_waiting_on", "_pending_resume", "_resume_cb", "obs_context")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         super().__init__(sim)
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
+        self._pending_resume: Optional[_Resume] = None
+        # One bound method reused for every yield instead of allocating a
+        # fresh one per callbacks.append.
+        self._resume_cb = self._resume
         # Ambient observability context: spawned processes inherit the
         # spawner's current span, so fan-out work (notifications, store
         # replication, RPC attempts) stays causally attached to the request
@@ -150,9 +209,14 @@ class Process(Event):
         parent = sim.active_process
         self.obs_context = parent.obs_context if parent is not None else None
         # Bootstrap: resume once at the current time.
-        boot = Event(sim)
-        boot.callbacks.append(self._resume)
-        boot.succeed(priority=URGENT)
+        if sim.fastpath:
+            record = _Resume(self, True, None)
+            self._pending_resume = record
+            sim._schedule_record(record, URGENT)
+        else:
+            boot = Event(sim)
+            boot.callbacks.append(self._resume_cb)
+            boot.succeed(priority=URGENT)
 
     @property
     def is_alive(self) -> bool:
@@ -162,7 +226,11 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time."""
         if self._triggered:
             return  # already finished; interrupting is a no-op
-        kick = Event(self.sim)
+        sim = self.sim
+        if sim.fastpath:
+            sim._schedule_record(_Resume(self, True, cause, kick=True), URGENT)
+            return
+        kick = Event(sim)
         kick.callbacks.append(lambda _ev: self._throw(Interrupt(cause)))
         kick.succeed(priority=URGENT)
 
@@ -178,54 +246,64 @@ class Process(Event):
     def _throw(self, exc: BaseException) -> None:
         if self._triggered:
             return
+        record = self._pending_resume
+        if record is not None:
+            record.cancelled = True
+            self._pending_resume = None
         waiting = self._waiting_on
         if waiting is not None and waiting.callbacks is not None:
             try:
-                waiting.callbacks.remove(self._resume)
+                waiting.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
         self._waiting_on = None
         self._step(self.generator.throw, exc)
 
     def _step(self, call: Callable, arg: Any) -> None:
-        prev_active = self.sim.active_process
-        self.sim.active_process = self
+        sim = self.sim
+        prev_active = sim.active_process
+        sim.active_process = self
         try:
-            self._step_inner(call, arg)
-        finally:
-            self.sim.active_process = prev_active
-
-    def _step_inner(self, call: Callable, arg: Any) -> None:
-        try:
-            target = call(arg)
-        except StopIteration as stop:
-            self.succeed(stop.value)
-            return
-        except BaseException as exc:
-            self.fail(exc)
-            return
-        if not isinstance(target, Event):
-            err = SimulationError(f"process {self.name!r} yielded non-event {target!r}")
-            self._step(self.generator.throw, err)
-            return
-        if target.sim is not self.sim:
-            err = SimulationError("yielded event belongs to a different simulator")
-            self._step(self.generator.throw, err)
-            return
-        if target.callbacks is None:
-            # Already processed: resume immediately via a fresh event so the
-            # heap ordering stays consistent.
-            relay = Event(self.sim)
-            relay.callbacks.append(self._resume)
-            if target._ok:
-                relay.succeed(target._value, priority=URGENT)
+            try:
+                target = call(arg)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self.fail(exc)
+                return
+            if not isinstance(target, Event):
+                err = SimulationError(f"process {self.name!r} yielded non-event {target!r}")
+                self._step(self.generator.throw, err)
+                return
+            if target.sim is not sim:
+                err = SimulationError("yielded event belongs to a different simulator")
+                self._step(self.generator.throw, err)
+                return
+            if target.callbacks is None:
+                # Already processed: resume at the current time through the
+                # scheduler so ordering stays consistent.
+                if sim.fastpath:
+                    if not target._ok:
+                        target.defuse()
+                    record = _Resume(self, target._ok, target._value)
+                    self._pending_resume = record
+                    self._waiting_on = None
+                    sim._schedule_record(record, URGENT)
+                    return
+                relay = Event(sim)
+                relay.callbacks.append(self._resume_cb)
+                if target._ok:
+                    relay.succeed(target._value, priority=URGENT)
+                else:
+                    target.defuse()
+                    relay.fail(target._value, priority=URGENT)
+                self._waiting_on = relay
             else:
-                target.defuse()
-                relay.fail(target._value, priority=URGENT)
-            self._waiting_on = relay
-        else:
-            target.callbacks.append(self._resume)
-            self._waiting_on = target
+                target.callbacks.append(self._resume_cb)
+                self._waiting_on = target
+        finally:
+            sim.active_process = prev_active
 
 
 class _Condition(Event):
@@ -310,16 +388,36 @@ class AllOf(_Condition):
 
 
 class Simulator:
-    """The event loop: a heap of ``(time, priority, seq, event)`` entries."""
+    """The event loop: a heap of ``(time, priority, seq, event)`` entries
+    plus, on the fast path, per-priority ready queues for the zero-delay
+    occurrences that dominate real runs (see the module docstring).
 
-    def __init__(self) -> None:
+    ``fastpath=None`` (default) reads ``ACE_KERNEL_FASTPATH`` from the
+    environment at construction time — ``0`` disables — so determinism
+    tests can run the same workload on both paths.
+    """
+
+    def __init__(self, fastpath: Optional[bool] = None) -> None:
         self._now = 0.0
-        self._heap: list[tuple[float, int, int, Event]] = []
+        self._heap: list[tuple[float, int, int, Any]] = []
         self._seq = 0
         self._running = False
+        if fastpath is None:
+            fastpath = os.environ.get("ACE_KERNEL_FASTPATH", "1") != "0"
+        #: zero-delay occurrences bypass the heap when True (default)
+        self.fastpath = bool(fastpath)
+        #: ready queues, one FIFO of ``(seq, item)`` per priority level
+        self._ready: tuple[deque, deque, deque] = (deque(), deque(), deque())
         #: the process currently being stepped (None between steps); lets
         #: freshly spawned processes inherit the spawner's obs_context
         self.active_process: Optional[Process] = None
+        # -- hot-path counters (read by repro.obs.profiling / E24) --------
+        #: heap entries pushed (delayed, or all schedules on the slow path)
+        self.n_heap_pushes = 0
+        #: relay/boot/kick Event allocations replaced by _Resume records
+        self.n_relays_avoided = 0
+        #: events + resume records delivered by step()
+        self.n_delivered = 0
 
     @property
     def now(self) -> float:
@@ -349,59 +447,152 @@ class Simulator:
             raise SimulationError(f"{event!r} scheduled twice")
         event._scheduled = True
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        if self.fastpath and delay == 0.0 and 0 <= priority <= 2:
+            self._ready[priority].append((self._seq, event))
+        else:
+            self.n_heap_pushes += 1
+            heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def _schedule_record(self, record: _Resume, priority: int) -> None:
+        """Fast-path only: land a resume record on a ready queue.  Consumes
+        one sequence number, exactly like the Event it replaces."""
+        self._seq += 1
+        self.n_relays_avoided += 1
+        self._ready[priority].append((self._seq, record))
+
+    def counters(self) -> dict[str, int]:
+        """Kernel hot-path counters (E24's profiling harness reads these).
+
+        ``ready_hits`` is derived (every schedule goes to exactly one of
+        heap or ready queue) so the hottest branch pays no counter cost.
+        """
+        return {
+            "events_scheduled": self._seq,
+            "heap_pushes": self.n_heap_pushes,
+            "ready_hits": self._seq - self.n_heap_pushes,
+            "relays_avoided": self.n_relays_avoided,
+            "events_delivered": self.n_delivered,
+        }
+
+    def _pop_next(self, _heappop=heapq.heappop) -> tuple[float, Any]:
+        """Pop the globally next occurrence: the ``(time, priority, seq)``
+        minimum across the heap and the ready queues.
+
+        Ready entries always carry ``time == now`` (time only advances when
+        the heap delivers, and the heap never delivers past a non-empty
+        ready queue), so the comparison against the heap head reduces to
+        ``(priority, seq)`` when the head is due now.
+        """
+        ready = self._ready
+        if ready[0]:
+            queue, prio = ready[0], 0
+        elif ready[1]:
+            queue, prio = ready[1], 1
+        elif ready[2]:
+            queue, prio = ready[2], 2
+        else:
+            entry = _heappop(self._heap)
+            return entry[0], entry[3]
+        heap = self._heap
+        if heap:
+            head = heap[0]
+            if head[0] <= self._now and (
+                head[1] < prio or (head[1] == prio and head[2] < queue[0][0])
+            ):
+                _heappop(heap)
+                return head[0], head[3]
+        return self._now, queue.popleft()[1]
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
+        """Time of the next scheduled occurrence, or ``inf`` if none."""
+        ready = self._ready
+        if ready[0] or ready[1] or ready[2]:
+            return self._now
         return self._heap[0][0] if self._heap else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
-        when, _prio, _seq, event = heapq.heappop(self._heap)
+        """Process exactly one occurrence (event delivery or resume)."""
+        when, item = self._pop_next()
         if when < self._now:
             raise SimulationError("time went backwards")
         self._now = when
-        event._deliver()
+        self.n_delivered += 1
+        item._deliver()
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the heap drains or the clock would pass ``until``.
+        """Run until the queues drain or the clock would pass ``until``.
 
         When ``until`` is given the clock is always advanced to exactly
-        ``until`` on return, even if the heap drained earlier.
+        ``until`` on return, even if the queues drained earlier.
         """
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        heap = self._heap
+        r0, r1, r2 = self._ready
+        pop = self._pop_next
+        delivered = 0
         try:
             if until is None:
-                while self._heap:
-                    self.step()
+                while r0 or r1 or r2 or heap:
+                    when, item = pop()
+                    self._now = when
+                    delivered += 1
+                    item._deliver()
             else:
                 if until < self._now:
                     raise SimulationError(f"until={until} is in the past (now={self._now})")
-                while self._heap and self._heap[0][0] <= until:
-                    self.step()
+                # Ready entries are always due at the current time, which
+                # never exceeds ``until`` inside this loop.
+                while r0 or r1 or r2 or (heap and heap[0][0] <= until):
+                    when, item = pop()
+                    self._now = when
+                    delivered += 1
+                    item._deliver()
                 self._now = until
         finally:
+            self.n_delivered += delivered
             self._running = False
 
     def run_process(self, generator: Generator, name: str = "", timeout: Optional[float] = None) -> Any:
         """Convenience: spawn a process, run until it finishes, return its value.
 
         Raises whatever the process raised; raises ``SimulationError`` if the
-        heap drains (or ``timeout`` elapses) before the process completes.
+        queues drain (or ``timeout`` elapses) before the process completes.
         """
         proc = self.process(generator, name=name)
         deadline = None if timeout is None else self._now + timeout
-        while not proc.triggered:
-            if not self._heap:
-                raise SimulationError(f"deadlock: process {proc.name!r} never completed")
-            if deadline is not None and self._heap[0][0] > deadline:
-                raise SimulationError(f"process {proc.name!r} exceeded timeout {timeout}")
-            self.step()
-        # Drain the delivery of the completion event itself.
-        while self._heap and not proc.processed and self._heap[0][0] <= self._now:
-            self.step()
+        heap = self._heap
+        r0, r1, r2 = self._ready
+        pop = self._pop_next
+        delivered = 0
+        try:
+            while not proc._triggered:
+                if not (r0 or r1 or r2):
+                    # Only heap entries can advance the clock, so the
+                    # deadlock/timeout checks live on this branch alone:
+                    # ready entries are always due at the current time,
+                    # which is already known to be within the deadline.
+                    if not heap:
+                        raise SimulationError(
+                            f"deadlock: process {proc.name!r} never completed"
+                        )
+                    if deadline is not None and heap[0][0] > deadline:
+                        raise SimulationError(
+                            f"process {proc.name!r} exceeded timeout {timeout}"
+                        )
+                when, item = pop()
+                self._now = when
+                delivered += 1
+                item._deliver()
+            # Drain the delivery of the completion event itself.
+            while proc.callbacks is not None and self.peek() <= self._now:
+                when, item = pop()
+                self._now = when
+                delivered += 1
+                item._deliver()
+        finally:
+            self.n_delivered += delivered
         if proc.ok:
             return proc.value
         proc.defuse()

@@ -9,6 +9,7 @@ among waiters and items, which keeps traces deterministic.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from typing import Any, Optional
 
@@ -179,12 +180,8 @@ class PriorityStore(Store):
         return False, None
 
     def _push(self, item: Any) -> None:
-        import heapq
-
         self._counter += 1
         heapq.heappush(self._pq, (item, self._counter, item))
 
     def _pop(self) -> Any:
-        import heapq
-
         return heapq.heappop(self._pq)[2]
