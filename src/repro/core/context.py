@@ -66,6 +66,8 @@ class DaemonContext:
     roomdb_address: Optional[Address] = None
     netlogger_address: Optional[Address] = None
     authdb_address: Optional[Address] = None
+    #: every persistent-store replica (all groups, sorted); empty = no store
+    store_addresses: List[Address] = field(default_factory=list)
     #: lease the ASD grants to registered services, seconds (§2.4)
     lease_duration: float = 30.0
     #: renew after this fraction of the lease has elapsed

@@ -49,7 +49,7 @@ from repro.sim import Interrupt, Process, QueueClosed, Store
 from repro.core.client import Channel, ServiceClient, CallError, channel_binding
 from repro.core.context import DaemonContext, SecurityMode
 from repro.core.notifications import NotificationEntry, NotificationTable
-from repro.core.policy import CallPolicy
+from repro.core.policy import CallPolicy, TransportError
 
 #: retry shape for boot-time ASD registration: daemons launched at boot may
 #: beat the ASD onto the network (§2.6), so back off ~0.5 s → 4 s across five
@@ -148,6 +148,9 @@ class ACEDaemon:
         self._m_lease_renewals = metrics.counter(f"daemon.{name}.lease_renewals")
         self._m_notify_sent = metrics.counter(f"daemon.{name}.notifications.delivered")
         self._m_notify_failed = metrics.counter(f"daemon.{name}.notifications.failed")
+        self._m_notify_batched = metrics.counter(f"daemon.{name}.notifications.batched")
+        #: lazy long-lived client whose pool carries notification deliveries
+        self._notify_client: Optional[ServiceClient] = None
         self._m_cmd_counters: Dict[str, Any] = {}
         metrics.register_view(f"daemon.{name}.watchers", self.notifications.counts)
 
@@ -243,6 +246,8 @@ class ACEDaemon:
         self._teardown()
 
     def _teardown(self) -> None:
+        if self._notify_client is not None:
+            self._notify_client.close_channels()
         if self._listener is not None:
             self._listener.close()
         if self._datagram is not None:
@@ -757,33 +762,73 @@ class ACEDaemon:
         # Strip reserved observability arguments from the forwarded payload;
         # the delivery call carries its own (fresh) trace context.
         payload = request.command.without_args(*RESERVED_ARGS).to_string()
+        # One delivery process + one pooled connection per *address*, not
+        # per listener: co-located listeners share the dial+attach and the
+        # channel, so fan-out cost scales with hosts, not registrations.
+        by_address: Dict[Address, List[NotificationEntry]] = {}
         for entry in entries:
-            self._spawn(self._deliver_notification(entry, request, payload), "notify")
+            by_address.setdefault(entry.address, []).append(entry)
+        for address, group in by_address.items():
+            if len(group) > 1:
+                self._m_notify_batched.inc(len(group))
+            self._spawn(
+                self._deliver_notifications(address, group, request, payload),
+                "notify",
+            )
 
-    def _deliver_notification(self, entry: NotificationEntry, request: Request, payload: str) -> Generator:
-        """Invoke the listener's callback command (Fig. 8 step 3)."""
-        notification = ACECmdLine(
-            entry.callback,
-            source=self.name,
-            trigger=request.command.name,
-            principal=request.principal,
-            args=payload,
+    def _notification_client(self) -> ServiceClient:
+        if self._notify_client is None:
+            self._notify_client = self._service_client()
+        return self._notify_client
+
+    def _purge_listener(self, entry: NotificationEntry) -> None:
+        """Paper: dead listeners get purged so future triggers don't stall."""
+        self._m_notify_failed.inc()
+        self.notifications.remove_listener(entry.listener)
+        self.ctx.trace.emit(
+            self.ctx.sim.now, self.name, "notification-failed", listener=entry.listener
         )
-        client = self._service_client()
+
+    def _deliver_notifications(
+        self, address: Address, entries: List[NotificationEntry],
+        request: Request, payload: str,
+    ) -> Generator:
+        """Invoke each co-located listener's callback (Fig. 8 step 3) over
+        one pooled connection."""
+        pool = self._notification_client().pool
         try:
-            yield from client.call_once(entry.address, notification, attach=True)
+            conn = yield from pool.acquire(address)
+        except (CallError, ConnectionClosed, ConnectionRefused, HostDownError, Interrupt):
+            for entry in entries:
+                self._purge_listener(entry)
+            return
+        for i, entry in enumerate(entries):
+            notification = ACECmdLine(
+                entry.callback,
+                source=self.name,
+                trigger=request.command.name,
+                principal=request.principal,
+                args=payload,
+            )
+            try:
+                yield from conn.call(notification)
+            except CallError:
+                # The listener answered cmdFailed: channel is fine, the
+                # registration is not — purge just this listener.
+                self._purge_listener(entry)
+                continue
+            except (ConnectionClosed, ConnectionRefused, TransportError,
+                    HostDownError, Interrupt):
+                conn.close()
+                for rest in entries[i:]:
+                    self._purge_listener(rest)
+                return
             self._m_notify_sent.inc()
             self.ctx.trace.emit(
                 self.ctx.sim.now, self.name, "notification-delivered",
                 listener=entry.listener, cmd=request.command.name,
             )
-        except (CallError, ConnectionClosed, ConnectionRefused, HostDownError, Interrupt):
-            # Paper: dead listeners get purged so future triggers don't stall.
-            self._m_notify_failed.inc()
-            self.notifications.remove_listener(entry.listener)
-            self.ctx.trace.emit(
-                self.ctx.sim.now, self.name, "notification-failed", listener=entry.listener
-            )
+        pool.release(address, conn)
 
     # ------------------------------------------------------------------
     # Data thread

@@ -84,6 +84,9 @@ class ACEEnvironment:
         self.rooms: List[Tuple[str, str, Tuple[float, float, float]]] = []
         self._booted = False
         self._admin_keypair: Optional[KeyPair] = None
+        #: persistent-store topology (replica-groups + consistent-hash map)
+        self._store_groups: List[List[ACEDaemon]] = []
+        self._store_shard_map = None
         #: ship finished spans + metric snapshots to the NetLogger at boot
         self._obs_export = obs_export
         self._obs_export_kwargs = dict(obs_export_kwargs or {})
@@ -246,33 +249,117 @@ class ACEEnvironment:
         )
 
     def add_persistent_store(
-        self, replicas: int = 3, *, host_prefix: str = "store",
-        sync_interval: float = 5.0, bogomips: float = 1200.0,
+        self, replicas: int = 3, *, groups: int = 1, host_prefix: str = "store",
+        sync_interval: float = 5.0, bogomips: float = 1200.0, **store_kwargs,
     ) -> List[ACEDaemon]:
-        """Fig. 17: a cluster of redundant store servers on separate hosts."""
-        from repro.store.server import PersistentStoreDaemon
+        """Fig. 17: a cluster of redundant store servers on separate hosts.
 
+        With ``groups > 1`` the namespace is consistent-hash sharded across
+        that many replica-groups of ``replicas`` servers each; every daemon
+        (and every :meth:`store_client`) shares one
+        :class:`~repro.store.sharding.ShardMap` so keys route locally."""
+        from repro.store.server import PersistentStoreDaemon
+        from repro.store.sharding import ShardMap
+
+        shard_map = ShardMap(groups) if groups > 1 else None
+        self._store_shard_map = shard_map
+        self._store_groups = []
         daemons: List[ACEDaemon] = []
+        for g in range(groups):
+            group_daemons: List[ACEDaemon] = []
+            for i in range(replicas):
+                if groups == 1:
+                    host_name, daemon_name = f"{host_prefix}{i + 1}", f"ps{i + 1}"
+                else:
+                    host_name = f"{host_prefix}{g + 1}-{i + 1}"
+                    daemon_name = f"ps{g + 1}-{i + 1}"
+                host = self.add_workstation(
+                    host_name, room="machineroom",
+                    bogomips=bogomips, monitors=False,
+                )
+                daemon = PersistentStoreDaemon(
+                    self.ctx, daemon_name, host,
+                    port=WellKnownPorts.PERSISTENT_STORE + g * replicas + i,
+                    room="machineroom", sync_interval=sync_interval,
+                    shard_map=shard_map, group_index=g, **store_kwargs,
+                )
+                self.add_daemon(daemon, tier=_TIER_DATABASE)
+                group_daemons.append(daemon)
+                daemons.append(daemon)
+            addresses = [d.address for d in group_daemons]
+            for daemon in group_daemons:
+                daemon.set_peers(addresses)
+            self._store_groups.append(group_daemons)
+        self._refresh_store_topology()
+        return daemons
+
+    def _store_group_addresses(self) -> Dict[int, List[Address]]:
+        return {
+            g: [d.address for d in grp]
+            for g, grp in enumerate(self._store_groups)
+        }
+
+    def _refresh_store_topology(self) -> None:
+        """Recompute ctx.store_addresses + every daemon's group map."""
+        group_addresses = self._store_group_addresses()
+        self.ctx.store_addresses = sorted(
+            (a for addrs in group_addresses.values() for a in addrs), key=str
+        )
+        for grp in self._store_groups:
+            for daemon in grp:
+                daemon.group_addresses = dict(group_addresses)
+
+    def add_store_group(
+        self, replicas: Optional[int] = None, *, host_prefix: str = "store",
+        sync_interval: float = 5.0, bogomips: float = 1200.0, **store_kwargs,
+    ) -> List[ACEDaemon]:
+        """Grow the sharded store by one replica-group: a new ShardMap epoch
+        is installed everywhere and existing groups stream the objects they
+        no longer own to the new group (the rebalance path)."""
+        from repro.store.server import PersistentStoreDaemon
+        from repro.store.sharding import ShardMap
+
+        if not self._store_groups:
+            raise RuntimeError("add_persistent_store() first")
+        old_map = self._store_shard_map or ShardMap(1)
+        new_map = old_map.grown()
+        g = len(self._store_groups)
+        if replicas is None:
+            replicas = len(self._store_groups[0])
+        group_daemons: List[ACEDaemon] = []
         for i in range(replicas):
             host = self.add_workstation(
-                f"{host_prefix}{i + 1}", room="machineroom",
+                f"{host_prefix}{g + 1}-{i + 1}", room="machineroom",
                 bogomips=bogomips, monitors=False,
             )
             daemon = PersistentStoreDaemon(
-                self.ctx, f"ps{i + 1}", host,
-                port=WellKnownPorts.PERSISTENT_STORE + i,
+                self.ctx, f"ps{g + 1}-{i + 1}", host,
+                port=WellKnownPorts.PERSISTENT_STORE + g * replicas + i,
                 room="machineroom", sync_interval=sync_interval,
+                shard_map=new_map, group_index=g, **store_kwargs,
             )
             self.add_daemon(daemon, tier=_TIER_DATABASE)
-            daemons.append(daemon)
-        addresses = [d.address for d in daemons]
-        for daemon in daemons:
+            group_daemons.append(daemon)
+        addresses = [d.address for d in group_daemons]
+        for daemon in group_daemons:
             daemon.set_peers(addresses)
-        return daemons
+        self._store_groups.append(group_daemons)
+        self._store_shard_map = new_map
+        self._refresh_store_topology()
+        group_addresses = self._store_group_addresses()
+        for grp in self._store_groups[:-1]:
+            for daemon in grp:
+                daemon.install_shard_map(new_map, group_addresses)
+        return group_daemons
 
     def store_client(self, host: Host, principal: str = "store-client", **kwargs):
         from repro.store.client import StoreClient
 
+        if self._store_shard_map is not None and self._store_groups:
+            kwargs.setdefault("shard_map", self._store_shard_map)
+            kwargs.setdefault(
+                "groups", [[d.address for d in grp] for grp in self._store_groups]
+            )
         replicas = sorted(
             (d.address for d in self.daemons.values()
              if type(d).__name__ == "PersistentStoreDaemon"),

@@ -7,6 +7,11 @@ opening one launches a ``vncviewer`` on the user's current access point.
 Passwords are generated and held by the WSS and written straight into the
 VNC server ("the VNC password files were directly accessed and modified by
 the WSS"), so identification via FIU/iButton is all a user ever does.
+
+When the environment has a persistent store (``ctx.store_addresses``),
+workspace records are checkpointed under ``/wss/workspaces/...`` and
+restored at startup, so a restarted WSS still knows every live session
+(§5.2's restart-application recipe applied to a core service).
 """
 
 from __future__ import annotations
@@ -47,12 +52,19 @@ class WorkspaceServerDaemon(ACEDaemon):
 
     service_type = "WorkspaceServer"
 
-    def __init__(self, ctx, name, host, *, admin_secret: str = "wss-secret", **kwargs):
+    def __init__(self, ctx, name, host, *, admin_secret: str = "wss-secret",
+                 persist: bool = True, **kwargs):
         super().__init__(ctx, name, host, **kwargs)
         self.admin_secret = admin_secret
         #: (user, workspace-name) -> record
         self.workspaces: Dict[Tuple[str, str], WorkspaceRecord] = {}
         self._pw_rng = ctx.rng.py(f"wss.{name}.passwords")
+        #: checkpoint records in the persistent store (when one exists)
+        self.persist = persist
+        self.restored = 0
+        self._store = None
+        self._m_persisted = ctx.obs.metrics.counter(f"wss.{name}.persisted")
+        self._m_restored = ctx.obs.metrics.counter(f"wss.{name}.restored")
 
     def build_semantics(self, sem: CommandSemantics) -> None:
         sem.define(
@@ -79,6 +91,90 @@ class WorkspaceServerDaemon(ACEDaemon):
             ArgSpec("user", ArgType.STRING),
             ArgSpec("name", ArgType.STRING),
         )
+
+    # ------------------------------------------------------------------
+    # Store-backed checkpointing (best effort; memory is the primary copy)
+    # ------------------------------------------------------------------
+    def on_started(self) -> None:
+        if self._store_client() is not None:
+            self._spawn(self._restore_workspaces(), "restore")
+
+    def _store_client(self):
+        if not self.persist or not self.ctx.store_addresses:
+            return None
+        if self._store is None:
+            from repro.store.client import StoreClient
+
+            # cache_reads: the WSS re-reads its own checkpoints (restore,
+            # repeated lookups) far more often than anyone else writes them.
+            self._store = StoreClient(
+                self.ctx, self.host, list(self.ctx.store_addresses),
+                principal=f"wss.{self.name}", cache_reads=True,
+            )
+        return self._store
+
+    @staticmethod
+    def _ws_path(user: str, name: str) -> str:
+        return f"/wss/workspaces/{user}/{name}"
+
+    def _persist_record(self, record: WorkspaceRecord) -> Generator:
+        store = self._store_client()
+        if store is None:
+            return
+        from repro.store.client import StoreUnavailable
+
+        try:
+            yield from store.put(self._ws_path(record.user, record.name), {
+                "user": record.user, "name": record.name,
+                "session": record.session, "password": record.password,
+                "service": record.server_service, "host": record.server_host,
+                "port": str(record.server_port),
+            })
+            self._m_persisted.inc()
+        except (StoreUnavailable, CallError, ConnectionClosed, ConnectionRefused):
+            pass
+
+    def _unpersist_record(self, user: str, name: str) -> Generator:
+        store = self._store_client()
+        if store is None:
+            return
+        from repro.store.client import StoreUnavailable
+
+        try:
+            yield from store.delete(self._ws_path(user, name))
+        except (StoreUnavailable, CallError, ConnectionClosed, ConnectionRefused):
+            pass
+
+    def _restore_workspaces(self) -> Generator:
+        store = self._store_client()
+        from repro.store.client import StoreUnavailable
+
+        try:
+            paths = yield from store.list("/wss/workspaces")
+            for path in paths:
+                attrs = yield from store.get(path)
+                if not attrs:
+                    continue
+                key = (attrs.get("user", ""), attrs.get("name", ""))
+                if not key[0] or not key[1] or key in self.workspaces:
+                    continue
+                self.workspaces[key] = WorkspaceRecord(
+                    user=key[0], name=key[1],
+                    session=attrs.get("session", key[1]),
+                    password=attrs.get("password", ""),
+                    server_service=attrs.get("service", ""),
+                    server_host=attrs.get("host", ""),
+                    server_port=int(attrs.get("port", "0") or 0),
+                )
+                self.restored += 1
+                self._m_restored.inc()
+            if self.restored:
+                self.ctx.trace.emit(
+                    self.ctx.sim.now, self.name, "workspaces-restored",
+                    count=self.restored,
+                )
+        except (StoreUnavailable, CallError, ConnectionClosed, ConnectionRefused):
+            pass
 
     # ------------------------------------------------------------------
     def _user_workspaces(self, user: str) -> List[WorkspaceRecord]:
@@ -131,6 +227,7 @@ class WorkspaceServerDaemon(ACEDaemon):
         else:
             raise ServiceError(f"VNC server {service_name!r} never registered")
         self.workspaces[key] = record
+        yield from self._persist_record(record)
         self.ctx.trace.emit(
             self.ctx.sim.now, self.name, "workspace-created",
             user=user, workspace=ws_name, host=record.server_host,
@@ -208,6 +305,7 @@ class WorkspaceServerDaemon(ACEDaemon):
         record = self.workspaces.pop(key, None)
         if record is None:
             raise ServiceError(f"no workspace {key[1]!r} for user {key[0]!r}")
+        yield from self._unpersist_record(key[0], key[1])
         client = self._service_client()
         try:
             yield from client.call_once(

@@ -15,24 +15,35 @@ the checkpoint/restore substrate for restart and robust applications
 """
 
 from repro.store.namespace import (
+    DIGEST_BUCKETS,
     NamespaceError,
     ObjectNamespace,
     StoredObject,
     Version,
     decode_attrs,
+    decode_object,
     encode_attrs,
+    encode_object,
 )
-from repro.store.server import PersistentStoreDaemon
+from repro.store.sharding import ShardMap, bucket_of, stable_hash
+from repro.store.server import STORE_CHUNK, PersistentStoreDaemon
 from repro.store.client import StoreClient, StoreUnavailable
 
 __all__ = [
+    "DIGEST_BUCKETS",
     "NamespaceError",
     "ObjectNamespace",
     "PersistentStoreDaemon",
+    "STORE_CHUNK",
+    "ShardMap",
     "StoreClient",
     "StoreUnavailable",
     "StoredObject",
     "Version",
+    "bucket_of",
     "decode_attrs",
+    "decode_object",
     "encode_attrs",
+    "encode_object",
+    "stable_hash",
 ]

@@ -8,11 +8,18 @@ encoded string (:func:`encode_attrs`), since ACE argument values are flat.
 
 from __future__ import annotations
 
+import hashlib
 import re
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.lang.wire import join_wire, split_wire
+from repro.store.sharding import bucket_of, stable_hash
+
 _PATH_RE = re.compile(r"^(/[A-Za-z0-9_.\-]+)+$")
+
+#: Default number of digest buckets for incremental anti-entropy.
+DIGEST_BUCKETS = 32
 
 
 class NamespaceError(Exception):
@@ -101,6 +108,26 @@ def _unescape_value(value: str) -> str:
     return "".join(out)
 
 
+def encode_object(obj: StoredObject) -> str:
+    """Whole object → one ``|``-delimited wire field (batch replication)."""
+    return join_wire(
+        (obj.path, encode_attrs(obj.attrs), obj.version.to_wire(), int(obj.deleted))
+    )
+
+
+def decode_object(text: str) -> StoredObject:
+    fields = split_wire(text)
+    if len(fields) != 4:
+        raise NamespaceError(f"malformed object record {text!r}")
+    path, attrs_text, version_text, deleted = fields
+    return StoredObject(
+        path,
+        decode_attrs(attrs_text),
+        Version.from_wire(version_text),
+        deleted=deleted == "1",
+    )
+
+
 def _split_unescaped(text: str, sep: str) -> List[str]:
     out, buf, i = [], [], 0
     while i < len(text):
@@ -122,10 +149,27 @@ def _split_unescaped(text: str, sep: str) -> List[str]:
 class ObjectNamespace:
     """One replica's object table."""
 
-    def __init__(self, site: str):
+    def __init__(self, site: str, *, buckets: int = DIGEST_BUCKETS):
         self.site = site
+        self.buckets = buckets
         self._objects: Dict[str, StoredObject] = {}
         self._clock = 0
+        # Incrementally-maintained XOR of per-object tokens, one slot per
+        # hash bucket, so anti-entropy can compare O(buckets) values and
+        # only walk buckets that differ.
+        self._bucket_hash: List[int] = [0] * buckets
+
+    @staticmethod
+    def _token(obj: StoredObject) -> int:
+        return stable_hash(f"{obj.path}|{obj.version.to_wire()}|{int(obj.deleted)}")
+
+    def _store(self, obj: StoredObject) -> None:
+        slot = bucket_of(obj.path, self.buckets)
+        old = self._objects.get(obj.path)
+        if old is not None:
+            self._bucket_hash[slot] ^= self._token(old)
+        self._bucket_hash[slot] ^= self._token(obj)
+        self._objects[obj.path] = obj
 
     def __len__(self) -> int:
         return sum(1 for o in self._objects.values() if not o.deleted)
@@ -141,7 +185,7 @@ class ObjectNamespace:
     def put(self, path: str, attrs: Dict[str, str]) -> StoredObject:
         check_path(path)
         obj = StoredObject(path, dict(attrs), self.next_version())
-        self._objects[path] = obj
+        self._store(obj)
         return obj
 
     def delete(self, path: str) -> Optional[StoredObject]:
@@ -150,7 +194,7 @@ class ObjectNamespace:
         if existing is None or existing.deleted:
             return None
         tombstone = StoredObject(path, {}, self.next_version(), deleted=True)
-        self._objects[path] = tombstone
+        self._store(tombstone)
         return tombstone
 
     # -- replica application (LWW) ----------------------------------------------
@@ -160,7 +204,7 @@ class ObjectNamespace:
         existing = self._objects.get(obj.path)
         if existing is not None and existing.version >= obj.version:
             return False
-        self._objects[obj.path] = obj
+        self._store(obj)
         return True
 
     # -- reads --------------------------------------------------------------------
@@ -182,6 +226,30 @@ class ObjectNamespace:
         """path → version of everything including tombstones."""
         return {path: obj.version for path, obj in self._objects.items()}
 
+    def bucket_hashes(self) -> List[int]:
+        """One XOR token per bucket; equal slots need no path-level exchange."""
+        return list(self._bucket_hash)
+
+    def bucket_digest(self, bucket: int) -> Dict[str, Version]:
+        """path → version for one hash bucket only (including tombstones)."""
+        return {
+            path: obj.version
+            for path, obj in self._objects.items()
+            if bucket_of(path, self.buckets) == bucket
+        }
+
+    def namespace_hash(self) -> str:
+        """Deterministic digest of full replica state for convergence checks.
+
+        LWW guarantees equal versions imply equal attrs, so hashing
+        path|version|deleted lines is enough to compare replicas.
+        """
+        lines = sorted(
+            f"{path}|{obj.version.to_wire()}|{int(obj.deleted)}"
+            for path, obj in self._objects.items()
+        )
+        return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+
     def newer_than(self, remote: Dict[str, Version]) -> List[StoredObject]:
         """Objects the remote is missing or holds older versions of."""
         out = []
@@ -194,3 +262,15 @@ class ObjectNamespace:
     def raw(self, path: str) -> Optional[StoredObject]:
         """Including tombstones (replication internals)."""
         return self._objects.get(path)
+
+    def all_objects(self) -> List[StoredObject]:
+        """Every record including tombstones, path-sorted (rebalance)."""
+        return [self._objects[path] for path in sorted(self._objects)]
+
+    def drop(self, path: str) -> Optional[StoredObject]:
+        """Forget a record entirely — no tombstone.  Rebalance uses this to
+        release objects handed off to another shard group."""
+        obj = self._objects.pop(path, None)
+        if obj is not None:
+            self._bucket_hash[bucket_of(path, self.buckets)] ^= self._token(obj)
+        return obj

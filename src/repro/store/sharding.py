@@ -1,0 +1,87 @@
+"""Consistent-hash sharding of the store namespace (Dynamo-style).
+
+A :class:`ShardMap` partitions object paths across N replica-groups via a
+ring of virtual nodes.  Every client and every store daemon holds the same
+map, so routing is computed locally — no lookup service in the hot path.
+Growing the map (`grown`) adds one group's vnodes to the ring; only keys
+whose ring successor is now a new vnode move, which keeps rebalancing
+proportional to 1/N of the namespace.
+
+All hashing goes through :func:`stable_hash` (blake2b) because Python's
+builtin ``hash`` is salted per process and would give every replica a
+different ring.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import List, Sequence, Tuple
+
+
+def stable_hash(text: str) -> int:
+    """Deterministic 64-bit hash, identical across processes and runs."""
+    return int.from_bytes(
+        hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+def bucket_of(path: str, buckets: int) -> int:
+    """Digest bucket for a path (incremental anti-entropy)."""
+    return stable_hash(path) % buckets
+
+
+class ShardMap:
+    """Maps object paths to shard groups via a consistent-hash vnode ring.
+
+    ``groups`` is the number of replica-groups; each contributes ``vnodes``
+    points to the ring.  ``epoch`` increments on growth so daemons can tell
+    stale maps apart from current ones.
+    """
+
+    def __init__(self, groups: int, *, vnodes: int = 64, epoch: int = 1):
+        if groups < 1:
+            raise ValueError("ShardMap needs at least one group")
+        self.groups = groups
+        self.vnodes = vnodes
+        self.epoch = epoch
+        self._ring: List[Tuple[int, int]] = sorted(
+            (stable_hash(f"shard:{g}:{v}"), g)
+            for g in range(groups)
+            for v in range(vnodes)
+        )
+        self._points = [p for p, _ in self._ring]
+
+    def shard_for(self, path: str) -> int:
+        """Group index owning ``path``."""
+        if self.groups == 1:
+            return 0
+        idx = bisect_right(self._points, stable_hash(path)) % len(self._ring)
+        return self._ring[idx][1]
+
+    def grown(self) -> "ShardMap":
+        """A new map with one more group (epoch bumped)."""
+        return ShardMap(self.groups + 1, vnodes=self.vnodes, epoch=self.epoch + 1)
+
+    def moved_paths(self, paths: Sequence[str], new_map: "ShardMap") -> List[str]:
+        """Paths whose owner changes between this map and ``new_map``."""
+        return [p for p in paths if self.shard_for(p) != new_map.shard_for(p)]
+
+    def to_wire(self) -> str:
+        return f"{self.groups}:{self.vnodes}:{self.epoch}"
+
+    @classmethod
+    def from_wire(cls, text: str) -> "ShardMap":
+        groups, vnodes, epoch = (int(part) for part in text.split(":"))
+        return cls(groups, vnodes=vnodes, epoch=epoch)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ShardMap)
+            and self.groups == other.groups
+            and self.vnodes == other.vnodes
+            and self.epoch == other.epoch
+        )
+
+    def __repr__(self) -> str:
+        return f"ShardMap(groups={self.groups}, vnodes={self.vnodes}, epoch={self.epoch})"

@@ -4,6 +4,7 @@ from repro.workloads.chaos import CallRecord, ChaosRunResult, run_chaos_workload
 from repro.workloads.clients import (
     closed_loop_clients,
     open_loop_arrivals,
+    store_workload,
     user_session_workload,
 )
 
@@ -13,5 +14,6 @@ __all__ = [
     "closed_loop_clients",
     "open_loop_arrivals",
     "run_chaos_workload",
+    "store_workload",
     "user_session_workload",
 ]

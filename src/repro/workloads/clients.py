@@ -122,6 +122,61 @@ def open_loop_arrivals(
     return recorder
 
 
+def store_workload(
+    env,
+    *,
+    n_clients: int,
+    duration: float,
+    n_paths: int = 64,
+    write_fraction: float = 0.2,
+    think_time: float = 0.01,
+    cache_reads: bool = False,
+    recorder: Optional[LatencyRecorder] = None,
+) -> LatencyRecorder:
+    """E25's data-plane mix: N closed-loop clients doing put/get against
+    the (possibly sharded) persistent store via :meth:`env.store_client`,
+    so every request routes per-key the way real consumers do.
+
+    Returns the latency recorder; ``recorder.count`` is the completed-op
+    count for throughput math.  Ops that found every replica down are not
+    recorded."""
+    from repro.store.client import StoreUnavailable
+
+    recorder = recorder or LatencyRecorder()
+    sim = env.sim
+    stop_at = sim.now + duration
+    host = env.net.hosts[sorted(env.net.hosts)[0]]
+    think_rng = env.rng.py("workload.store-think")
+    mix_rng = env.rng.py("workload.store-mix")
+
+    def one_client(index: int) -> Generator:
+        client = env.store_client(
+            host, principal=f"store-load-{index}", cache_reads=cache_reads
+        )
+        iteration = 0
+        while sim.now < stop_at:
+            path = f"/bench/c{index}/o{iteration % n_paths}"
+            t0 = sim.now
+            try:
+                if mix_rng.random() < write_fraction:
+                    yield from client.put(path, {"v": str(iteration)})
+                else:
+                    yield from client.get(path)
+            except (StoreUnavailable, CallError, ConnectionClosed, ConnectionRefused):
+                yield sim.timeout(0.1)
+                continue
+            recorder.record(sim.now - t0)
+            iteration += 1
+            yield sim.timeout(
+                think_rng.expovariate(1.0 / think_time) if think_time > 0 else 0
+            )
+
+    procs = [sim.process(one_client(i), name=f"store-load-{i}") for i in range(n_clients)]
+    sim.run(until=stop_at + 5.0)
+    del procs
+    return recorder
+
+
 def user_session_workload(
     env,
     *,

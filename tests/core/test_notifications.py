@@ -202,3 +202,29 @@ def test_dead_listener_purged_after_failure(ace_with_echo):
     ace.run(trigger())
     ace.sim.run(until=ace.sim.now + 5.0)
     assert len(echo.notifications) == 0  # purged on delivery failure
+
+
+def test_notifications_to_same_address_are_batched(ace_with_echo):
+    """Two watchers behind one address share a pooled connection: the
+    daemon groups their deliveries and counts the batch."""
+    ace, echo = ace_with_echo
+    listener = make_listener(ace)
+
+    def scenario():
+        client = ace.client()
+        for who in ("watcher-a", "watcher-b"):
+            yield from client.call_once(
+                echo.address,
+                ACECmdLine(
+                    "addNotification", cmd="echo", listener=who,
+                    host=listener.host.name, port=listener.port,
+                    callback="onEchoSeen",
+                ),
+            )
+        yield from client.call_once(echo.address, ACECmdLine("echo", text="fan out"))
+
+    ace.run(scenario())
+    ace.sim.run(until=ace.sim.now + 2.0)
+    assert len(listener.seen_notifications) == 2
+    batched = ace.ctx.obs.metrics.counter("daemon.echo1.notifications.batched")
+    assert batched.value == 2

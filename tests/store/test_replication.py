@@ -27,6 +27,7 @@ def test_write_replicates_to_all(store_env):
         yield from client.put("/users/john", {"fullname": "John Doe"})
 
     env.run(scenario())
+    env.run_for(0.5)  # batched replication flushes asynchronously
     for name in ("ps1", "ps2", "ps3"):
         obj = env.daemon(name).namespace.get("/users/john")
         assert obj is not None and obj.attrs["fullname"] == "John Doe"
@@ -38,6 +39,7 @@ def test_read_from_any_replica(store_env):
 
     def scenario():
         yield from client.put("/x", {"v": "1"})
+        yield env.sim.timeout(0.5)  # let the replication batch flush
         values = []
         for _ in range(3):  # round-robin hits each replica once
             values.append((yield from client.get("/x")))
@@ -55,8 +57,10 @@ def test_survives_one_replica_crash(store_env):
 
     def scenario():
         yield from client.put("/x", {"v": "before"})
+        yield env.sim.timeout(0.5)  # flush before the coordinator dies
         env.net.crash_host("store1")
         yield from client.put("/y", {"v": "after"})
+        yield env.sim.timeout(0.5)  # /y propagates to the other survivor
         x = yield from client.get("/x")
         y = yield from client.get("/y")
         return x, y
@@ -72,6 +76,7 @@ def test_survives_two_replica_crashes(store_env):
 
     def scenario():
         yield from client.put("/x", {"v": "1"})
+        yield env.sim.timeout(0.5)  # flush before the coordinators die
         env.net.crash_host("store1")
         env.net.crash_host("store2")
         value = yield from client.get("/x")
@@ -137,6 +142,7 @@ def test_delete_replicates(store_env):
     def scenario():
         yield from client.put("/x", {"v": "1"})
         ok = yield from client.delete("/x")
+        yield env.sim.timeout(0.5)  # tombstone flush reaches every replica
         value = yield from client.get("/x")
         return ok, value
 
@@ -179,9 +185,11 @@ def test_checkpoint_api(store_env):
 
     def scenario():
         yield from client.save_state("wss", {"workspaces": "2", "next_id": "17"})
+        yield env.sim.timeout(0.3)  # balanced reads may hit any replica
         state = yield from client.load_state("wss")
         missing = yield from client.load_state("ghost-app")
         yield from client.clear_state("wss")
+        yield env.sim.timeout(0.3)
         cleared = yield from client.load_state("wss")
         return state, missing, cleared
 
@@ -198,6 +206,7 @@ def test_list_across_cluster(store_env):
     def scenario():
         yield from client.put("/apps/a/state", {})
         yield from client.put("/apps/b/state", {})
+        yield env.sim.timeout(0.3)  # balanced list may hit any replica
         return (yield from client.list("/apps"))
 
     assert env.run(scenario()) == ["/apps/a/state", "/apps/b/state"]
