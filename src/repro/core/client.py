@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Generator, Optional, Union
 
 from repro.lang import ACECmdLine, parse_command
-from repro.lang.command import PIPELINE_SEQ_ARG, is_error
+from repro.lang.command import CLIENT_ID_ARG, CLIENT_SEQ_ARG, PIPELINE_SEQ_ARG, is_error
 from repro.net import Address, Connection, ConnectionClosed, ConnectionRefused
 from repro.net.host import Host
 from repro.net.secure import SecureChannel, handshake_client
@@ -413,6 +413,10 @@ class ServiceClient:
         self._span_stack: list = []
         self._pool: Optional[ConnectionPool] = None
         self._pipelines: dict = {}   # Address -> PipelinedConnection
+        #: idempotency stamp state (``ctx.idempotent_retries``): a unique
+        #: client id minted on first use plus a per-logical-call sequence
+        self._stamp_id: Optional[str] = None
+        self._stamp_seq = 0
 
     # ------------------------------------------------------------------
     # Tracing (repro.obs)
@@ -542,6 +546,22 @@ class ServiceClient:
         self._pipelines.clear()
 
     # ------------------------------------------------------------------
+    # Idempotency stamping (the recovery plane's exactly-once half)
+    # ------------------------------------------------------------------
+    def _stamp(self, command: ACECmdLine) -> ACECmdLine:
+        """Stamp one *logical* call with ``(client_id, seq)``.  Every retry
+        and failover of that call reuses the stamp, so a daemon (or its
+        reincarnation) that already executed it replays the cached reply
+        instead of running it twice."""
+        if not self.ctx.idempotent_retries or CLIENT_ID_ARG in command:
+            return command
+        if self._stamp_id is None:
+            self._stamp_id = self.ctx.next_client_id(self.principal)
+        seq = self._stamp_seq
+        self._stamp_seq += 1
+        return command.with_args(**{CLIENT_ID_ARG: self._stamp_id, CLIENT_SEQ_ARG: seq})
+
+    # ------------------------------------------------------------------
     # Replica failover (the §5.3 robust-application client side)
     # ------------------------------------------------------------------
     def call_failover(
@@ -565,6 +585,7 @@ class ServiceClient:
         if not addrs:
             raise CallError(f"no addresses to call {command.name!r} against")
         policy = policy or FAILOVER_POLICY
+        command = self._stamp(command)
         failovers = self.ctx.obs.metrics.counter("rpc.failover")
         last_exc: Optional[Exception] = None
         for i, address in enumerate(addrs):
@@ -616,6 +637,7 @@ class ServiceClient:
         policy = policy or registry.default_policy
         stats = registry.stats
         breaker = registry.breaker(address, policy)
+        command = self._stamp(command)
         sim = self.ctx.sim
         tracer = self.ctx.obs.tracer
         span = tracer.start_span(

@@ -79,6 +79,15 @@ class DaemonContext:
     #: when set, daemons on one host coalesce their ASD lease renewals into
     #: one batched ``renewLease names=(...)`` command per interval
     batch_lease_renewals: bool = False
+    #: when set, clients stamp every resilient call with a ``(o_cid,
+    #: o_cseq)`` idempotency token that survives retries and failover, and
+    #: daemons dedup on it — off by default so the pre-recovery wire
+    #: traffic (and determinism hashes) stay byte-identical
+    idempotent_retries: bool = False
+    #: per-host SupervisorDaemon plane (populated by
+    #: ``env.enable_supervision()``); daemons beat into their host's
+    #: supervisor on every successful lease renewal
+    supervisors: Dict[str, object] = field(default_factory=dict)
     #: causal tracer + metrics registry (built in __post_init__ when unset)
     obs: Optional[Observability] = None
     #: shared client-side directory cache (built in __post_init__ when unset)
@@ -93,6 +102,14 @@ class DaemonContext:
             self.lookup_cache = LookupCache(metrics=self.obs.metrics)
         #: per-host lease-renewal batchers (populated lazily by daemons)
         self._lease_batchers: dict = {}
+        #: monotonically minted client ids for idempotency stamps
+        self._client_id_counter = 0
+
+    def next_client_id(self, principal: str = "client") -> str:
+        """Mint a unique, deterministic client id for idempotency stamps."""
+        n = self._client_id_counter
+        self._client_id_counter += 1
+        return f"{principal}.c{n}"
 
     def default_bootstrap(self, asd_host: str) -> None:
         """Point the well-known addresses at conventional ports on one host."""

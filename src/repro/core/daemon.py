@@ -31,11 +31,19 @@ Subclassing recipe::
 from __future__ import annotations
 
 import inspect
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, List, Optional
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.lang import ACECmdLine, ACELanguageError, ArgSpec, ArgType, CommandSemantics
-from repro.lang.command import PIPELINE_SEQ_ARG, RESERVED_ARGS, error_reply, ok_reply
+from repro.lang.command import (
+    CLIENT_ID_ARG,
+    CLIENT_SEQ_ARG,
+    PIPELINE_SEQ_ARG,
+    RESERVED_ARGS,
+    error_reply,
+    ok_reply,
+)
 from repro.lang.semantics import reply_semantics
 from repro.obs import SERVER as SPAN_SERVER
 from repro.obs import extract as extract_trace
@@ -69,6 +77,12 @@ STARTUP_REGISTRATION_POLICY = CallPolicy(
 #: memo of command verb -> "cmd_<verb>" so the dispatch path never
 #: allocates the attribute name per request (bounded by the vocabulary)
 _HANDLER_ATTRS: Dict[str, str] = {}
+
+#: how many ``(client_id, seq) -> reply`` pairs the idempotency window
+#: holds before the oldest is evicted.  Sized for "a retry burst across a
+#: restart", not for history: a client re-sends within its call deadline,
+#: so the window only needs to outlive the in-flight population.
+DEDUP_WINDOW = 512
 
 
 class ServiceError(Exception):
@@ -105,6 +119,8 @@ class ACEDaemon:
         room: str = "",
         authorize_commands: Optional[bool] = None,
         register_with_asd: bool = True,
+        incarnation: int = 0,
+        dedup_window: int = DEDUP_WINDOW,
     ):
         self.ctx = ctx
         self.name = name
@@ -112,6 +128,15 @@ class ACEDaemon:
         self.port = port if port is not None else ctx.net.ephemeral_port(host.name)
         self.room = room or host.room
         self.register_with_asd = register_with_asd
+        #: how many times this (name, host, port) has been reincarnated by
+        #: a supervisor; registrations carry it so the ASD can fence a
+        #: stale incarnation that resurfaces after a partition heals
+        self.incarnation = incarnation
+        self.dedup_window = dedup_window
+        #: idempotency window: ``(client_id, seq) -> reply`` in LRU order;
+        #: checkpointed and restored across restarts so a retry that spans
+        #: a crash replays the old reply instead of re-executing
+        self._dedup_cache: "OrderedDict[Tuple[str, int], ACECmdLine]" = OrderedDict()
         if authorize_commands is None:
             authorize_commands = ctx.security.mode is SecurityMode.SSL_KEYNOTE
         self.authorize_commands = authorize_commands
@@ -146,6 +171,8 @@ class ACEDaemon:
         self._m_auth_cache_hits = metrics.counter(f"daemon.{name}.auth_cache.hits")
         self._m_auth_cache_misses = metrics.counter(f"daemon.{name}.auth_cache.misses")
         self._m_lease_renewals = metrics.counter(f"daemon.{name}.lease_renewals")
+        self._m_dedup_hits = metrics.counter(f"daemon.{name}.dedup.hits")
+        self._m_dedup_evicted = metrics.counter(f"daemon.{name}.dedup.evicted")
         self._m_notify_sent = metrics.counter(f"daemon.{name}.notifications.delivered")
         self._m_notify_failed = metrics.counter(f"daemon.{name}.notifications.failed")
         self._m_notify_batched = metrics.counter(f"daemon.{name}.notifications.batched")
@@ -229,6 +256,50 @@ class ACEDaemon:
         """Graceful shutdown: deregister from the ASD, close sockets."""
         return self.ctx.sim.process(self._shutdown(), name=f"{self.name}.stop")
 
+    def kill(self) -> None:
+        """Abrupt process death (fault injection): no deregistration, no
+        lease release — exactly the wreckage a real crash leaves behind.
+        The ASD lease lapses on its own; a supervisor notices the missed
+        heartbeats."""
+        if not self.running:
+            return
+        self.running = False
+        if self.ctx.batch_lease_renewals:
+            self.ctx.lease_batcher(self.host).unenroll(self.name)
+        self._teardown()
+        if self._main_proc is not None:
+            self._main_proc.interrupt("killed")
+
+    def respawn(self, incarnation: int) -> "ACEDaemon":
+        """A fresh instance of this daemon on the same host and port under
+        a higher incarnation number (the supervisor restart path).  The
+        port is kept so addresses clients already hold stay valid.
+        Subclasses with extra constructor state override
+        :meth:`_respawn_kwargs`."""
+        return type(self)(
+            self.ctx,
+            self.name,
+            self.host,
+            port=self.port,
+            room=self.room,
+            authorize_commands=self.authorize_commands,
+            register_with_asd=self.register_with_asd,
+            incarnation=incarnation,
+            **self._respawn_kwargs(),
+        )
+
+    def _respawn_kwargs(self) -> Dict[str, Any]:
+        """Extra constructor kwargs :meth:`respawn` must carry over."""
+        return {}
+
+    def _beat(self) -> None:
+        """Tell this host's supervisor (when one is watching) that we are
+        alive — piggybacked on successful lease renewals, so detection
+        needs no wire traffic of its own."""
+        supervisor = self.ctx.supervisors.get(self.host.name)
+        if supervisor is not None:
+            supervisor.beat(self.name)
+
     def _shutdown(self) -> Generator:
         if not self.running:
             return
@@ -278,6 +349,7 @@ class ACEDaemon:
             self._spawn(self._data_thread(), "data")
             yield from self._startup_sequence()
             self.on_started()
+            self._beat()
             yield from self._lease_loop()
         except (HostDownError, Interrupt):
             self.running = False
@@ -347,7 +419,7 @@ class ACEDaemon:
         trace.emit(self.ctx.sim.now, self.name, "daemon-ready")
 
     def _registration_command(self) -> ACECmdLine:
-        return ACECmdLine(
+        command = ACECmdLine(
             "register",
             name=self.name,
             host=self.host.name,
@@ -355,6 +427,11 @@ class ACEDaemon:
             room=self.room or "unassigned",
             cls=self.class_path(),
         )
+        if self.incarnation:
+            # Only reincarnations carry the fencing number, so first-life
+            # wire traffic stays byte-identical to the pre-recovery plane.
+            command = command.with_args(inc=self.incarnation)
+        return command
 
     def _lease_loop(self) -> Generator:
         """Renew the ASD lease at the configured fraction of its duration.
@@ -380,6 +457,8 @@ class ACEDaemon:
                 return
             addresses = self.ctx.directory_addresses()
             if not (self.register_with_asd and addresses):
+                # Nothing to renew against; the liveness signal is local.
+                self._beat()
                 continue
             try:
                 reply = yield from client.call_failover(
@@ -389,6 +468,7 @@ class ACEDaemon:
                 )
                 del reply
                 self._m_lease_renewals.inc()
+                self._beat()
             except (CallError, ConnectionClosed, ConnectionRefused):
                 # Lease lapsed or ASD restarted: re-register from scratch.
                 try:
@@ -643,6 +723,18 @@ class ACEDaemon:
             self._m_queue_wait.observe(queue_wait)
             if request.span is not None:
                 request.span.annotate(queue_wait_ms=round(queue_wait * 1e3, 3))
+            stamp = self._dedup_key(request.command)
+            if stamp is not None:
+                cached = self._dedup_cache.get(stamp)
+                if cached is not None:
+                    # A retry of a command we already executed (possibly in
+                    # a previous incarnation): replay the reply verbatim.
+                    self._dedup_cache.move_to_end(stamp)
+                    self._m_dedup_hits.inc()
+                    obs.tracer.finish(request.span, status="dedup-replay")
+                    if not reply_slot.triggered:
+                        reply_slot.succeed(cached)
+                    continue
             # Make the request span ambient for the handler (and for any
             # work it spawns: replication pushes, notifications, ...).
             prev_ambient = obs.set_ambient(request.span)
@@ -667,6 +759,17 @@ class ACEDaemon:
             obs.tracer.finish(
                 request.span, status="ok" if reply.name == "cmdOk" else "cmdFailed"
             )
+            if stamp is not None:
+                self._dedup_remember(stamp, reply)
+                # Optional durability barrier (Checkpointable, eager mode):
+                # persist the dedup entry before the reply leaves, so a
+                # crash between execute and reply cannot re-execute.
+                barrier = self._commit_barrier(request, reply)
+                if barrier is not None:
+                    try:
+                        yield from barrier
+                    except (HostDownError, Interrupt):
+                        return
             if not reply_slot.triggered:
                 reply_slot.succeed(reply)
             if reply.name == "cmdOk":
@@ -675,6 +778,55 @@ class ACEDaemon:
                     self._spawn_notifications(request)
                 finally:
                     obs.set_ambient(prev_ambient)
+
+    # -- idempotency window ------------------------------------------------
+    @staticmethod
+    def _dedup_key(command: ACECmdLine) -> Optional[Tuple[str, int]]:
+        cid = command.get(CLIENT_ID_ARG)
+        if cid is None:
+            return None
+        seq = command.get(CLIENT_SEQ_ARG)
+        return (str(cid), seq if isinstance(seq, int) else 0)
+
+    def _dedup_remember(self, key: Tuple[str, int], reply: ACECmdLine) -> None:
+        cache = self._dedup_cache
+        cache[key] = reply
+        cache.move_to_end(key)
+        while len(cache) > self.dedup_window:
+            cache.popitem(last=False)
+            self._m_dedup_evicted.inc()
+
+    def _commit_barrier(self, request: Request, reply: ACECmdLine) -> Optional[Generator]:
+        """Hook run after a stamped command commits, before its reply is
+        released.  Checkpointable daemons in eager mode return a generator
+        that persists the checkpoint; the default is a no-op."""
+        return None
+
+    def export_dedup(self) -> Tuple[str, ...]:
+        """The idempotency window as wire-safe lines (oldest first) for
+        inclusion in a checkpoint."""
+        from repro.lang.wire import join_wire
+
+        return tuple(
+            join_wire((cid, seq, reply.to_string()))
+            for (cid, seq), reply in self._dedup_cache.items()
+        )
+
+    def import_dedup(self, lines) -> int:
+        """Rebuild the idempotency window from a checkpoint (restore path)."""
+        from repro.lang import parse_command
+        from repro.lang.wire import split_wire
+
+        restored = 0
+        for line in lines:
+            try:
+                cid, seq, text = split_wire(line)
+                reply = parse_command(text)
+            except (ValueError, ACELanguageError):
+                continue
+            self._dedup_remember((cid, int(seq)), reply)
+            restored += 1
+        return restored
 
     def _count_command(self, verb: str) -> None:
         counter = self._m_cmd_counters.get(verb)

@@ -164,6 +164,12 @@ class LeaseRenewalBatcher:
             renewed = reply.get("renewed", ()) or ()
             missing = reply.get("missing", ()) or ()
             self._m_renewed.inc(len(renewed))
+            supervisor = self.ctx.supervisors.get(self.host.name)
+            if supervisor is not None:
+                # Batched renewals are the host's heartbeat too: each name
+                # the directory confirmed is demonstrably alive.
+                for name in renewed:
+                    supervisor.beat(name)
             for name in missing:
                 reregister = self._entries.get(name)
                 if reregister is None:
@@ -171,6 +177,8 @@ class LeaseRenewalBatcher:
                 try:
                     yield from reregister()
                     self._m_reregistered.inc()
+                    if supervisor is not None:
+                        supervisor.beat(name)
                     self.ctx.trace.emit(
                         sim.now, "lease", "batch-reregistered", service=name
                     )

@@ -60,10 +60,17 @@ class LookupCache:
         #: on when it starts — so plain installs keep wire-fresh lookups
         #: (a just-registered service must be visible immediately).
         self.enabled = False
+        #: seconds an *empty* lookup result is cached (0 = never, the
+        #: default).  The recovery plane sets this so clients chasing a
+        #: dead name back off instead of hammering every ASD replica for
+        #: the whole suspicion window; the watcher's register push purges
+        #: the negative entry the moment the reincarnation appears.
+        self.negative_ttl = 0.0
         self._entries: "OrderedDict[QueryKey, CacheEntry]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.expired = 0
+        self.negative_hits = 0
         self.invalidations = 0
         if metrics is not None:
             metrics.register_view("directory.cache", self.snapshot)
@@ -85,15 +92,26 @@ class LookupCache:
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        if not entry.records:
+            self.negative_hits += 1
         return entry.records
 
     def put(self, key: QueryKey, records: Sequence, now: float, ttl: float) -> None:
-        """Cache ``records`` for ``ttl`` seconds.  Empty results and
-        non-positive TTLs are not cached — a negative answer must always
-        re-ask the wire, so a service that just registered is found."""
-        if not records or ttl <= 0:
+        """Cache ``records`` for ``ttl`` seconds.
+
+        Empty results are only cached (as ``()``, for ``negative_ttl``
+        seconds) when a negative TTL is configured — by default a negative
+        answer always re-asks the wire, so a service that just registered
+        is found immediately."""
+        if not records:
+            if self.negative_ttl <= 0:
+                return
+            entry = CacheEntry((), now + self.negative_ttl)
+        elif ttl <= 0:
             return
-        self._entries[key] = CacheEntry(tuple(records), now + ttl)
+        else:
+            entry = CacheEntry(tuple(records), now + ttl)
+        self._entries[key] = entry
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
@@ -153,6 +171,7 @@ class LookupCache:
             "hits": self.hits,
             "misses": self.misses,
             "expired": self.expired,
+            "negative_hits": self.negative_hits,
             "invalidations": self.invalidations,
             "hit_rate": round(self.hit_rate, 4),
         }

@@ -145,6 +145,13 @@ class CircuitBreaker:
             return True
         return False
 
+    def force_close(self) -> None:
+        """Force-close and zero the failure history — the endpoint was
+        restarted, so whatever it did before says nothing about now."""
+        self.state = CLOSED
+        self.failures = 0
+        self._probe_inflight = False
+
 
 class ResilienceRegistry:
     """Per-environment shared state for the resilient RPC layer.
@@ -160,6 +167,10 @@ class ResilienceRegistry:
         self.stats = RpcStats()
         self._breakers: Dict[Any, CircuitBreaker] = {}
         self._lookup_cache: Dict[Tuple, Tuple] = {}
+        #: callables invoked with the restarted address by
+        #: :meth:`notify_restart` — e.g. store replicas clearing their
+        #: per-peer replication-lag cooldown for a reincarnated sibling
+        self._restart_listeners: list = []
 
     def breaker(self, address: Any, policy: CallPolicy) -> CircuitBreaker:
         """The shared breaker for ``address`` (created on first use)."""
@@ -172,6 +183,28 @@ class ResilienceRegistry:
     def breaker_states(self) -> Dict[str, str]:
         """address -> state, for traces and experiment tables."""
         return {str(addr): b.state for addr, b in self._breakers.items()}
+
+    def reset_address(self, address: Any) -> bool:
+        """A daemon at ``address`` was restarted: force its breaker closed
+        so callers probe the reincarnation immediately instead of waiting
+        out a stale OPEN cooldown earned by the corpse.  Returns True when
+        a breaker existed (and was reset)."""
+        breaker = self._breakers.get(address)
+        if breaker is None:
+            return False
+        breaker.force_close()
+        return True
+
+    def on_restart(self, listener) -> None:
+        """Register a ``listener(address)`` called after a daemon restart."""
+        self._restart_listeners.append(listener)
+
+    def notify_restart(self, address: Any) -> None:
+        """A daemon at ``address`` was reincarnated: close its breaker and
+        fan the news out to every registered listener."""
+        self.reset_address(address)
+        for listener in list(self._restart_listeners):
+            listener(address)
 
     # -- last-known-good directory records (ASD lookup fallback) -----------
     def remember_lookup(self, key: Tuple, records: Tuple) -> None:

@@ -237,6 +237,70 @@ class ACEEnvironment:
             )
         return host
 
+    def enable_supervision(
+        self,
+        *,
+        suspicion_window: Optional[float] = None,
+        check_interval: float = 0.5,
+        checkpoint_interval: float = 2.0,
+        checkpoint_to_store: bool = True,
+        negative_ttl: float = 0.5,
+        idempotent_retries: bool = True,
+        include: Optional[List[str]] = None,
+        exclude: Tuple[str, ...] = (),
+    ) -> Dict[str, "object"]:
+        """Turn on the self-healing supervision plane (E26).
+
+        Creates one :class:`~repro.recovery.SupervisorDaemon` per host
+        that runs daemons, watches every daemon on it (the directory
+        replicas and watcher are exempt — they *are* the heartbeat
+        substrate), switches clients to idempotent retry stamping, and
+        configures negative lookup caching so clients chasing a dead name
+        back off during the recovery window.
+
+        ``include`` restricts supervision to the named daemons;
+        ``exclude`` exempts names.  Returns host name -> supervisor.
+        """
+        from repro.recovery import SupervisorDaemon
+
+        self.ctx.idempotent_retries = idempotent_retries
+        if negative_ttl > 0 and self.ctx.lookup_cache is not None:
+            self.ctx.lookup_cache.negative_ttl = negative_ttl
+        exempt = set(exclude) | {"dirwatch"}
+        supervisors: Dict[str, SupervisorDaemon] = {}
+        for name, daemon in self.daemons.items():
+            if name in exempt:
+                continue
+            if include is not None and name not in include:
+                continue
+            if isinstance(daemon, (ServiceDirectoryDaemon, DirectoryWatcherDaemon)):
+                continue
+            supervisor = self.ctx.supervisors.get(daemon.host.name)
+            if supervisor is None:
+                supervisor = SupervisorDaemon(
+                    self.ctx, daemon.host,
+                    suspicion_window=suspicion_window,
+                    check_interval=check_interval,
+                    checkpoint_interval=checkpoint_interval,
+                    checkpoint_to_store=checkpoint_to_store,
+                )
+                supervisor.on_restart(self._adopt_restart)
+            supervisor.watch(daemon)
+            supervisors[daemon.host.name] = supervisor
+        for supervisor in supervisors.values():
+            supervisor.start()
+        return supervisors
+
+    def _adopt_restart(self, old: ACEDaemon, new: ACEDaemon) -> None:
+        """Supervisor restart hook: swap the reincarnation into every
+        environment-level index that held the corpse."""
+        if self.daemons.get(old.name) is old:
+            self.daemons[old.name] = new
+        for group in self._store_groups:
+            for i, daemon in enumerate(group):
+                if daemon is old:
+                    group[i] = new
+
     def add_directory_watcher(self, host: Optional[Host] = None) -> ACEDaemon:
         """The cache-invalidation listener: subscribes to the directory
         group's register/deregister notifications and purges the shared

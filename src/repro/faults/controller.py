@@ -29,10 +29,14 @@ class ChaosController:
         sim.run(until=...)          # faults fire as the clock passes them
     """
 
-    def __init__(self, net: Network, plan: FaultPlan):
+    def __init__(self, net: Network, plan: FaultPlan, daemons=None):
         self.net = net
         self.sim = net.sim
         self.plan = plan
+        #: daemon lookup for ``kill`` faults: a dict (e.g. ``env.daemons``,
+        #: consulted live so reincarnations are found) or a ``name ->
+        #: daemon`` callable
+        self.daemons = daemons
         self.started_at: float = 0.0
         #: (sim_time, description) log of applied/healed faults
         self.history: List[Tuple[float, str]] = []
@@ -76,6 +80,26 @@ class ChaosController:
         if relaunch is not None:
             relaunch()
         self._note("heal", spec, host=host)
+
+    def _run_kill(self, spec: FaultSpec) -> Generator:
+        name, kill = spec.params
+        if kill is None:
+            daemon = self._find_daemon(name)
+            if daemon is None:
+                self._note("skip", spec, daemon=name)
+                return
+            kill = daemon.kill
+        kill()
+        self._note("inject", spec, daemon=name)
+        return
+        yield  # pragma: no cover — keeps this handler a generator
+
+    def _find_daemon(self, name: str):
+        if self.daemons is None:
+            return None
+        if callable(self.daemons):
+            return self.daemons(name)
+        return self.daemons.get(name)
 
     def _run_partition(self, spec: FaultSpec) -> Generator:
         (groups,) = spec.params

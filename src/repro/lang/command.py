@@ -27,7 +27,16 @@ OBS_TRACE_ARG = "o_tc"
 #: commands in flight on one channel can pair replies to calls even when a
 #: lossy link swallows one of them.
 PIPELINE_SEQ_ARG = "o_seq"
-RESERVED_ARGS = frozenset({OBS_TRACE_ARG, PIPELINE_SEQ_ARG})
+#: reserved arguments carrying the client's idempotency stamp (§ recovery
+#: plane): a per-client id plus a per-logical-call sequence number.  A
+#: daemon that sees the same ``(o_cid, o_cseq)`` twice replays its cached
+#: reply instead of re-executing — that is what turns at-least-once
+#: retries into effectively exactly-once across a daemon restart.
+CLIENT_ID_ARG = "o_cid"
+CLIENT_SEQ_ARG = "o_cseq"
+RESERVED_ARGS = frozenset(
+    {OBS_TRACE_ARG, PIPELINE_SEQ_ARG, CLIENT_ID_ARG, CLIENT_SEQ_ARG}
+)
 
 
 class ACECmdLine:

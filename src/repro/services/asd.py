@@ -61,21 +61,32 @@ class ServiceRecord:
     port: int
     room: str
     cls: str
+    #: supervisor reincarnation number (0 = first life).  Registrations
+    #: carrying a lower ``inc`` than the live entry are fenced — a stale
+    #: incarnation resurfacing after a partition heal cannot clobber its
+    #: replacement.
+    inc: int = 0
 
     @property
     def address(self) -> Address:
         return Address(self.host, self.port)
 
     def to_wire(self) -> str:
-        return "|".join(
-            _escape_field(str(part))
-            for part in (self.name, self.host, self.port, self.room, self.cls)
-        )
+        parts = [self.name, self.host, self.port, self.room, self.cls]
+        if self.inc:
+            # First-life records keep the legacy 5-field form so the wire
+            # stays byte-identical when the recovery plane is off.
+            parts.append(self.inc)
+        return "|".join(_escape_field(str(part)) for part in parts)
 
     @classmethod
     def from_wire(cls, text: str) -> "ServiceRecord":
-        name, host, port, room, klass = _split_wire(text)
-        return cls(name, host, int(port), room, klass)
+        fields = _split_wire(text)
+        if len(fields) == 5:
+            name, host, port, room, klass = fields
+            return cls(name, host, int(port), room, klass)
+        name, host, port, room, klass, inc = fields
+        return cls(name, host, int(port), room, klass, int(inc))
 
     def matches_class(self, cls_query: str) -> bool:
         """True when ``cls_query`` is a segment (or suffix path) of this
@@ -159,12 +170,14 @@ class ServiceDirectoryDaemon(ACEDaemon):
         self.syncs_completed = 0
         self.forwarded_writes = 0
         self.coordinated_writes = 0
+        self.fenced_registers = 0
         metrics = ctx.obs.metrics
         self._m_repl_sent = metrics.counter(f"asd.{name}.replications_sent")
         self._m_repl_applied = metrics.counter(f"asd.{name}.replications_applied")
         self._m_repl_failed = metrics.counter(f"asd.{name}.replications_failed")
         self._m_syncs = metrics.counter(f"asd.{name}.syncs")
         self._m_forwarded = metrics.counter(f"asd.{name}.writes_forwarded")
+        self._m_fenced = metrics.counter(f"asd.{name}.registers_fenced")
 
     def build_semantics(self, sem: CommandSemantics) -> None:
         sem.define(
@@ -174,6 +187,7 @@ class ServiceDirectoryDaemon(ACEDaemon):
             ArgSpec("port", ArgType.INTEGER),
             ArgSpec("room", ArgType.STRING, required=False, default="unassigned"),
             ArgSpec("cls", ArgType.STRING, required=False, default="ACEService"),
+            ArgSpec("inc", ArgType.INTEGER, required=False, default=0),
             ArgSpec("fwd", ArgType.INTEGER, required=False, default=0),
             description="enter the directory and receive a lease",
         )
@@ -410,11 +424,30 @@ class ServiceDirectoryDaemon(ACEDaemon):
             port=cmd.int("port"),
             room=cmd.str("room"),
             cls=cmd.str("cls"),
+            inc=cmd.int("inc", 0),
         )
         if not cmd.int("fwd", 0) and not self.is_leader:
             reply = yield from self._forward_to_leader(cmd)
             if reply is not None:
                 return reply
+        # Incarnation fence: a stale pre-crash incarnation resurfacing
+        # after a partition heal must not clobber its live replacement.
+        existing = self._entries.get(record.name)
+        if (
+            existing is not None
+            and not existing.deleted
+            and existing.record.inc > record.inc
+        ):
+            self.fenced_registers += 1
+            self._m_fenced.inc()
+            self.ctx.trace.emit(
+                self.ctx.sim.now, self.name, "register-fenced",
+                service=record.name, inc=record.inc, live=existing.record.inc,
+            )
+            raise ServiceError(
+                f"stale incarnation {record.inc} for {record.name!r}: "
+                f"incarnation {existing.record.inc} is live"
+            )
         self.coordinated_writes += 1
         lease = self.leases.grant(record.name, self.ctx.sim.now)
         entry = DirEntry(
@@ -829,6 +862,12 @@ def asd_lookup(
         registry.remember_lookup(key, records)
         if ttl_cache and ttl is not None:
             ctx.lookup_cache.put(key, records, ctx.sim.now, ttl)
+    elif ttl_cache and not records:
+        # Cache the *absence* too (only effective when ``negative_ttl`` is
+        # configured): during a daemon's recovery window every client would
+        # otherwise re-ask each replica on every retry.  The watcher's
+        # register push purges this entry as soon as the name reappears.
+        ctx.lookup_cache.put(key, (), ctx.sim.now, 0.0)
     return records
 
 

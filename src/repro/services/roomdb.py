@@ -12,8 +12,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.lang import ArgSpec, ArgType, CommandSemantics
+from repro.lang.wire import join_wire, split_wire
 from repro.core.daemon import Request, ServiceError
-from repro.services.base import DatabaseDaemon
+from repro.services.base import Checkpointable, DatabaseDaemon
 
 
 @dataclass
@@ -28,7 +29,7 @@ class RoomInfo:
     services: Dict[str, Tuple[str, int, float, float, float]] = field(default_factory=dict)
 
 
-class RoomDatabaseDaemon(DatabaseDaemon):
+class RoomDatabaseDaemon(Checkpointable, DatabaseDaemon):
     """The spatial model of the ACE (§4.11)."""
 
     service_type = "RoomDatabase"
@@ -37,6 +38,40 @@ class RoomDatabaseDaemon(DatabaseDaemon):
         kwargs.setdefault("authorize_commands", False)  # bootstrap service
         super().__init__(ctx, name, host, **kwargs)
         self.rooms: Dict[str, RoomInfo] = {}
+
+    # ------------------------------------------------------------------
+    # Recovery-plane checkpointing: one ``room`` line per room (geometry)
+    # followed by one ``svc`` line per placed service.
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> Tuple[str, ...]:
+        lines = []
+        for name in sorted(self.rooms):
+            room = self.rooms[name]
+            w, d, h = room.dims
+            lines.append(join_wire(("room", name, room.building, w, d, h)))
+        for name in sorted(self.rooms):
+            room = self.rooms[name]
+            for svc in sorted(room.services):
+                host, port, x, y, z = room.services[svc]
+                lines.append(join_wire(("svc", name, svc, host, port, x, y, z)))
+        return tuple(lines)
+
+    def restore_state(self, lines: Tuple[str, ...]) -> None:
+        self.rooms.clear()
+        for line in lines:
+            fields = split_wire(line)
+            if fields[0] == "room" and len(fields) == 6:
+                _, name, building, w, d, h = fields
+                self.rooms[name] = RoomInfo(
+                    name, building=building,
+                    dims=(float(w), float(d), float(h)),
+                )
+            elif fields[0] == "svc" and len(fields) == 8:
+                _, name, svc, host, port, x, y, z = fields
+                room = self.rooms.setdefault(name, RoomInfo(name))
+                room.services[svc] = (
+                    host, int(port), float(x), float(y), float(z),
+                )
 
     def build_semantics(self, sem: CommandSemantics) -> None:
         sem.define(

@@ -20,10 +20,12 @@ from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.lang import ACECmdLine, ArgSpec, ArgType, CommandSemantics
+from repro.lang.wire import join_wire, split_wire
 from repro.net import Address, ConnectionClosed, ConnectionRefused
 from repro.core.client import CallError
 from repro.core.daemon import ACEDaemon, Request, ServiceError
 from repro.services.asd import asd_lookup
+from repro.services.base import Checkpointable
 
 
 def vnc_service_name(session: str) -> str:
@@ -47,7 +49,7 @@ class WorkspaceRecord:
         return Address(self.server_host, self.server_port)
 
 
-class WorkspaceServerDaemon(ACEDaemon):
+class WorkspaceServerDaemon(Checkpointable, ACEDaemon):
     """Creates, names, tracks, opens, and destroys workspaces (§4.5)."""
 
     service_type = "WorkspaceServer"
@@ -175,6 +177,34 @@ class WorkspaceServerDaemon(ACEDaemon):
                 )
         except (StoreUnavailable, CallError, ConnectionClosed, ConnectionRefused):
             pass
+
+    def _respawn_kwargs(self) -> dict:
+        return {"admin_secret": self.admin_secret, "persist": self.persist}
+
+    # ------------------------------------------------------------------
+    # Recovery-plane checkpointing (supervisor-driven, whole-state)
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> Tuple[str, ...]:
+        return tuple(
+            join_wire((
+                r.user, r.name, r.session, r.password, r.server_service,
+                r.server_host, r.server_port, r.viewers,
+            ))
+            for _, r in sorted(self.workspaces.items())
+        )
+
+    def restore_state(self, lines: Tuple[str, ...]) -> None:
+        self.workspaces.clear()
+        for line in lines:
+            fields = split_wire(line)
+            if len(fields) != 8:
+                continue
+            user, name, session, password, service, host, port, viewers = fields
+            self.workspaces[(user, name)] = WorkspaceRecord(
+                user=user, name=name, session=session, password=password,
+                server_service=service, server_host=host,
+                server_port=int(port), viewers=int(viewers),
+            )
 
     # ------------------------------------------------------------------
     def _user_workspaces(self, user: str) -> List[WorkspaceRecord]:

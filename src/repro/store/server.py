@@ -44,6 +44,7 @@ from repro.store.namespace import (
     encode_object,
 )
 from repro.store.sharding import ShardMap
+from repro.services.base import Checkpointable
 
 #: bounded reply size for psList/psDigest pages and psFetch batches —
 #: the store-side analogue of the ASD's LOOKUP_CHUNK.
@@ -60,10 +61,14 @@ _REPL_ERRORS = (
 )
 
 
-class PersistentStoreDaemon(ACEDaemon):
+class PersistentStoreDaemon(Checkpointable, ACEDaemon):
     """One replica of the Fig. 17 persistent-store cluster."""
 
     service_type = "PersistentStore"
+    #: the store's checkpoint *is* its namespace; writing it back into the
+    #: store would re-capture itself on every round (supervisor memory is
+    #: the checkpoint medium — anti-entropy from peers covers durability)
+    checkpoint_to_store = False
 
     def __init__(self, ctx, name, host, *, peers: Optional[List[Address]] = None,
                  sync_interval: float = 5.0, replicate_writes: bool = True,
@@ -166,6 +171,48 @@ class PersistentStoreDaemon(ACEDaemon):
         self._spawn(self._anti_entropy_loop(), "anti-entropy")
         if self.batch_replication:
             self._spawn(self._flush_loop(), "repl-flush-loop")
+        # A reincarnated peer is reachable again: drop its replication
+        # cooldown immediately instead of waiting it out.
+        self.ctx.resilience.on_restart(self._peer_restarted)
+
+    def _peer_restarted(self, address: Address) -> None:
+        if self.running and self._peer_down_until.pop(address, None) is not None:
+            self.ctx.trace.emit(
+                self.ctx.sim.now, self.name, "peer-cooldown-cleared",
+                peer=str(address),
+            )
+
+    # ------------------------------------------------------------------
+    # Recovery-plane checkpointing: the whole namespace, one encoded
+    # object (tombstones included) per line.  LWW versions make restore +
+    # anti-entropy convergent even against a checkpoint taken mid-write.
+    # ------------------------------------------------------------------
+    def checkpoint_state(self):
+        return tuple(encode_object(obj) for obj in self.namespace.all_objects())
+
+    def restore_state(self, lines) -> None:
+        for line in lines:
+            try:
+                obj = decode_object(line)
+            except NamespaceError:
+                continue
+            self.namespace.apply(obj)
+
+    def _respawn_kwargs(self) -> dict:
+        return {
+            "peers": list(self.peers),
+            "sync_interval": self.sync_interval,
+            "replicate_writes": self.replicate_writes,
+            "batch_replication": self.batch_replication,
+            "repl_batch_size": self.repl_batch_size,
+            "repl_flush_age": self.repl_flush_age,
+            "repl_buffer_cap": self.repl_buffer_cap,
+            "shard_map": self.shard_map,
+            "group_index": self.group_index,
+            "group_addresses": dict(self.group_addresses),
+            "forward_misrouted": self.forward_misrouted,
+            "digest_buckets": self.namespace.buckets,
+        }
 
     # ------------------------------------------------------------------
     # Sharding

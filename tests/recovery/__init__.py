@@ -1,0 +1,1 @@
+"""Recovery-plane (E26) tests."""

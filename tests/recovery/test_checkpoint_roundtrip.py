@@ -1,0 +1,127 @@
+"""Checkpoint/restore round-trip properties for every Checkpointable."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.env import ACEEnvironment
+from repro.services.roomdb import RoomDatabaseDaemon, RoomInfo
+from repro.services.wss import WorkspaceRecord, WorkspaceServerDaemon
+from repro.store.namespace import StoredObject, Version
+from repro.store.server import PersistentStoreDaemon
+
+
+def make_pair(cls, name, **kwargs):
+    """Two unstarted instances of a daemon class sharing one context."""
+    env = ACEEnvironment(seed=0)
+    host = env.add_host("h1")
+    return (
+        cls(env.ctx, name, host, **kwargs),
+        cls(env.ctx, f"{name}2", host, **kwargs),
+    )
+
+
+# Adversarial text: pipes, backslashes, ampersands, equals — everything the
+# wire and attr escapers must survive.
+gnarly = st.text(
+    alphabet=st.characters(codec="utf-8", exclude_characters="\x00"),
+    min_size=1, max_size=12,
+)
+words = st.from_regex(r"[a-z][a-z0-9_.\-]{0,8}", fullmatch=True)
+
+
+@given(st.dictionaries(
+    st.tuples(gnarly, gnarly),
+    st.tuples(gnarly, gnarly, gnarly, st.integers(0, 65535), st.integers(0, 9)),
+    max_size=6,
+))
+@settings(max_examples=50, deadline=None)
+def test_wss_roundtrip(workspaces):
+    source, target = make_pair(WorkspaceServerDaemon, "wss")
+    for (user, name), (pw, service, host, port, viewers) in workspaces.items():
+        source.workspaces[(user, name)] = WorkspaceRecord(
+            user=user, name=name, session=name, password=pw,
+            server_service=service, server_host=host,
+            server_port=port, viewers=viewers,
+        )
+    target.restore_state(source.checkpoint_state())
+    assert target.workspaces == source.workspaces
+
+
+@given(st.dictionaries(
+    gnarly,
+    st.tuples(
+        gnarly,
+        st.tuples(*[st.floats(0, 100, allow_nan=False) for _ in range(3)]),
+        st.dictionaries(
+            gnarly,
+            st.tuples(gnarly, st.integers(0, 65535),
+                      *[st.floats(-10, 10, allow_nan=False) for _ in range(3)]),
+            max_size=4,
+        ),
+    ),
+    max_size=5,
+))
+@settings(max_examples=50, deadline=None)
+def test_roomdb_roundtrip(rooms):
+    source, target = make_pair(RoomDatabaseDaemon, "roomdb")
+    for name, (building, dims, services) in rooms.items():
+        source.rooms[name] = RoomInfo(
+            name, building=building, dims=dims, services=dict(services),
+        )
+    target.restore_state(source.checkpoint_state())
+    assert {n: (r.building, r.dims, r.services) for n, r in target.rooms.items()} \
+        == {n: (r.building, r.dims, r.services) for n, r in source.rooms.items()}
+
+
+store_paths = st.from_regex(r"(/[a-z0-9]{1,5}){1,3}", fullmatch=True)
+attr_keys = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True)
+
+
+@given(st.lists(
+    st.tuples(store_paths, st.dictionaries(attr_keys, gnarly, max_size=3),
+              st.booleans()),
+    max_size=12,
+))
+@settings(max_examples=50, deadline=None)
+def test_store_roundtrip(objects):
+    source, target = make_pair(PersistentStoreDaemon, "ps1")
+    for counter, (path, attrs, deleted) in enumerate(objects, start=1):
+        source.namespace.apply(
+            StoredObject(path, attrs, Version(counter, "w"), deleted=deleted)
+        )
+    target.restore_state(source.checkpoint_state())
+    src = {o.path: (o.attrs, o.version, o.deleted)
+           for o in source.namespace.all_objects()}
+    dst = {o.path: (o.attrs, o.version, o.deleted)
+           for o in target.namespace.all_objects()}
+    assert dst == src
+
+
+@given(st.dictionaries(
+    st.tuples(gnarly, gnarly),
+    st.tuples(gnarly, gnarly, gnarly, st.integers(0, 65535), st.integers(0, 9)),
+    max_size=4,
+))
+@settings(max_examples=25, deadline=None)
+def test_full_checkpoint_roundtrip_carries_dedup_and_incarnation(workspaces):
+    """compose/restore must round-trip the service state AND the dedup
+    cache, so exactly-once holds across the restart."""
+    from repro.lang import ACECmdLine
+    from repro.lang.command import ok_reply
+
+    source, target = make_pair(WorkspaceServerDaemon, "wss")
+    for (user, name), (pw, service, host, port, viewers) in workspaces.items():
+        source.workspaces[(user, name)] = WorkspaceRecord(
+            user=user, name=name, session=name, password=pw,
+            server_service=service, server_host=host,
+            server_port=port, viewers=viewers,
+        )
+    reply = ok_reply(ACECmdLine("listWorkspaces", user="u"), count=3)
+    source._dedup_remember(("client.c0", 5), reply)
+
+    payload = source.compose_checkpoint()
+    assert all(k.isidentifier() or k.isalnum() for k in payload)  # store-safe
+    restored = target.restore_checkpoint(payload)
+    assert restored == len(source.checkpoint_state())
+    assert target.workspaces == source.workspaces
+    cached = target._dedup_cache[("client.c0", 5)]
+    assert cached.to_string() == reply.to_string()
