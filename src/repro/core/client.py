@@ -408,6 +408,9 @@ class ServiceClient:
         self.keypair = keypair
         self._rng = ctx.rng.py(f"client.{host.name}.{principal}")
         self._retry_rng = ctx.rng.py(f"rpc.{host.name}.{principal}")
+        #: client-observed resilient-call latency, shared env-wide; traced
+        #: calls pin their trace id as the bucket exemplar
+        self._m_latency = ctx.obs.metrics.histogram("rpc.latency_s")
         #: explicit span stack (roots/bound spans); the ambient per-process
         #: span is the fallback.  One client serves one logical flow.
         self._span_stack: list = []
@@ -647,6 +650,7 @@ class ServiceClient:
         if span is not None:
             self._span_stack.append(span)
         status = "interrupted"
+        started = sim.now
         deadline_at = sim.now + policy.deadline
         stats.calls += 1
         attempt = 0
@@ -706,6 +710,7 @@ class ServiceClient:
                 return reply
         finally:
             if span is not None:
+                self._m_latency.observe_ex(sim.now - started, span.trace_id)
                 if self._span_stack and self._span_stack[-1] is span:
                     self._span_stack.pop()
                 # ``attempt`` counts failed attempts; cmdFailed/ok add one
@@ -715,6 +720,8 @@ class ServiceClient:
                     span, status=status, attempts=total,
                     retries=max(total - 1, 0), breaker=breaker.state,
                 )
+            else:
+                self._m_latency.observe(sim.now - started)
 
     def _attempt_with_timeout(
         self, address: Address, command: ACECmdLine, timeout: float, **kw

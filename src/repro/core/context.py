@@ -66,6 +66,8 @@ class DaemonContext:
     roomdb_address: Optional[Address] = None
     netlogger_address: Optional[Address] = None
     authdb_address: Optional[Address] = None
+    #: the E27 telemetry aggregator (None until ``env.enable_telemetry()``)
+    telemetry_address: Optional[Address] = None
     #: every persistent-store replica (all groups, sorted); empty = no store
     store_addresses: List[Address] = field(default_factory=list)
     #: lease the ASD grants to registered services, seconds (§2.4)

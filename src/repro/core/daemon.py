@@ -180,6 +180,14 @@ class ACEDaemon:
         self._notify_client: Optional[ServiceClient] = None
         self._m_cmd_counters: Dict[str, Any] = {}
         metrics.register_view(f"daemon.{name}.watchers", self.notifications.counts)
+        # Telemetry identity: everything under ``daemon.<name>.*`` belongs
+        # to this (service, address, incarnation).  A reincarnation re-runs
+        # this with its bumped incarnation, starting a fresh series in the
+        # E27 telemetry plane instead of splicing into the corpse's.
+        ctx.obs.register_scope(
+            name, f"{host.name}:{self.port}", host.name,
+            incarnation=incarnation, prefix=f"daemon.{name}.",
+        )
 
         # Identity for SSL server handshakes and signed actions.
         if ctx.security.mode is not SecurityMode.NONE and ctx.security.ca is not None:
@@ -755,7 +763,14 @@ class ACEDaemon:
                 obs.set_ambient(prev_ambient)
             self._commands_served += 1
             self._count_command(request.command.name)
-            self._m_service_time.observe(self.ctx.sim.now - now)
+            if request.span is not None:
+                # Traced request: pin its trace id to the service-time
+                # bucket as an exemplar (memory-only; no wire impact).
+                self._m_service_time.observe_ex(
+                    self.ctx.sim.now - now, request.span.trace_id
+                )
+            else:
+                self._m_service_time.observe(self.ctx.sim.now - now)
             obs.tracer.finish(
                 request.span, status="ok" if reply.name == "cmdOk" else "cmdFailed"
             )

@@ -291,6 +291,111 @@ class ACEEnvironment:
             supervisor.start()
         return supervisors
 
+    def enable_telemetry(
+        self,
+        *,
+        interval: float = 1.0,
+        jitter: float = 0.2,
+        slos=None,
+        aggregator_host=None,
+        port: Optional[int] = None,
+    ) -> "ACEDaemon":
+        """Turn on the E27 cluster telemetry plane.
+
+        Adds one :class:`~repro.obs.cluster.TelemetryAggregatorDaemon`
+        (well-known telemetry port, ASD-registered, supervisable like any
+        daemon) plus one per-host
+        :class:`~repro.obs.cluster.TelemetryPublisherDaemon` that
+        delta-pushes the host's metric scopes every ``interval`` seconds
+        (jittered).  ``slos`` defaults to
+        :func:`~repro.obs.cluster.default_slos` scaled to the interval.
+        Returns the aggregator.  When telemetry stays off, none of this
+        exists and the wire is byte-identical to pre-E27 traffic.
+        """
+        from repro.net.address import WellKnownPorts
+        from repro.obs.cluster import (
+            TelemetryAggregatorDaemon,
+            TelemetryPublisherDaemon,
+            default_slos,
+        )
+        from repro.obs.cluster.snapshot import BREAKER_LEVELS
+
+        if "telemetry" in self.daemons:
+            return self.daemons["telemetry"]
+        if aggregator_host is None:
+            if "asd" in self.daemons:
+                aggregator_host = self.daemons["asd"].host
+            else:
+                aggregator_host = self.net.host(sorted(self.net.hosts)[0])
+        aggregator = TelemetryAggregatorDaemon(
+            self.ctx, "telemetry", aggregator_host,
+            port=port if port is not None else WellKnownPorts.TELEMETRY,
+            interval=interval,
+            slos=tuple(slos) if slos is not None else default_slos(interval),
+        )
+        self.add_daemon(aggregator, tier=_TIER_DATABASE)
+        self.ctx.telemetry_address = aggregator.address
+        self._supervise_if_enabled(aggregator)
+
+        # The RPC plane's scope: breakers + RpcStats + client latency
+        # histogram don't live under one registry prefix, so a provider
+        # assembles them (published from the aggregator's host).
+        resilience = self.ctx.resilience
+        metrics = self.ctx.obs.metrics
+
+        def rpc_provider():
+            counters, gauges, histograms = metrics.export_scope("rpc.")
+            counters.update(resilience.stats.snapshot())
+            for address, state in resilience.breaker_states().items():
+                gauges[f"breaker.{address}"] = float(BREAKER_LEVELS.get(state, 0))
+            return counters, gauges, histograms
+
+        self.ctx.obs.register_scope(
+            "rpc", "rpc:0", aggregator_host.name, provider=rpc_provider
+        )
+
+        # One publisher per host that runs daemons (including the
+        # aggregator's own host — it is just another daemon to watch).
+        hosts = {d.host.name: d.host for d in self.daemons.values()}
+        for host_name in sorted(hosts):
+            pub_name = f"telem.{host_name}"
+            if pub_name in self.daemons:
+                continue
+            publisher = TelemetryPublisherDaemon(
+                self.ctx, pub_name, hosts[host_name],
+                interval=interval, jitter=jitter,
+            )
+            self.add_daemon(publisher, tier=_TIER_DATABASE)
+            self._supervise_if_enabled(publisher)
+
+        def topology():
+            info = {
+                "store_groups": [
+                    [d.name for d in group] for group in self._store_groups
+                ],
+                "supervisors": {
+                    host_name: supervisor.snapshot()
+                    for host_name, supervisor in sorted(self.ctx.supervisors.items())
+                },
+            }
+            if self._store_shard_map is not None:
+                info["shard_map"] = {
+                    "groups": self._store_shard_map.groups,
+                    "epoch": self._store_shard_map.epoch,
+                }
+            return info
+
+        aggregator.topology_provider = topology
+        return aggregator
+
+    def _supervise_if_enabled(self, daemon: ACEDaemon) -> None:
+        """Enroll a late-added daemon with its host's supervisor, when the
+        supervision plane is already on (telemetry daemons are ordinary
+        wards — the aggregator's state is soft, so restart is enough)."""
+        supervisor = self.ctx.supervisors.get(daemon.host.name)
+        if supervisor is not None:
+            supervisor.watch(daemon)
+
     def _adopt_restart(self, old: ACEDaemon, new: ACEDaemon) -> None:
         """Supervisor restart hook: swap the reincarnation into every
         environment-level index that held the corpse."""

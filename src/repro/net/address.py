@@ -42,6 +42,7 @@ class WellKnownPorts:
     AUTH_DB = 5003
     USER_DB = 5004
     PERSISTENT_STORE = 5010  # replicas use 5010, 5011, 5012
+    TELEMETRY = 5020  # E27 cluster telemetry aggregator
     #: First port handed out to dynamically placed daemons.
     EPHEMERAL_BASE = 10000
     #: Multicast "address" used by the Jini-style discovery baseline.

@@ -24,6 +24,7 @@ from repro.obs.profiling import KERNEL_COUNTERS, ProfileScope
 from repro.obs.export import METRICS_EVENT, SPAN_EVENT, NetLoggerExporter, span_from_wire, span_to_wire
 from repro.obs.registry import (
     DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_MAX_SERIES,
     Counter,
     Gauge,
     Histogram,
@@ -47,6 +48,7 @@ __all__ = [
     "Counter",
     "CriticalHop",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_MAX_SERIES",
     "Gauge",
     "Histogram",
     "INTERNAL",
@@ -61,6 +63,7 @@ __all__ = [
     "SPAN_EVENT",
     "Span",
     "SpanTree",
+    "TelemetryScope",
     "TraceContext",
     "Tracer",
     "critical_path",
@@ -70,6 +73,40 @@ __all__ = [
     "span_from_wire",
     "span_to_wire",
 ]
+
+
+class TelemetryScope:
+    """One exportable slice of the shared metrics registry, tagged with
+    the identity of the daemon (or plane) that feeds it.
+
+    The registry itself stays environment-wide — instruments are shared
+    objects on the hot path — so identity tagging happens here, at the
+    export seam: a scope says "everything under ``prefix`` belongs to
+    (service, address, incarnation), published from ``host``".  Daemons
+    register one in their constructor; a reincarnation re-registers under
+    the same (service, address) key with its bumped incarnation, which is
+    how the telemetry plane keeps a restarted daemon from splicing its
+    counters into the dead incarnation's series.
+
+    ``provider`` (optional) overrides the prefix scan with a callable
+    returning ``(counters, gauges, histograms)`` dicts directly — used for
+    planes whose counters don't live under one registry prefix (e.g. the
+    RPC layer's breakers).
+    """
+
+    __slots__ = ("service", "address", "host", "incarnation", "prefix", "provider")
+
+    def __init__(self, service, address, host, incarnation=0, prefix="", provider=None):
+        self.service = service
+        self.address = str(address)
+        self.host = host
+        self.incarnation = incarnation
+        self.prefix = prefix
+        self.provider = provider
+
+    @property
+    def key(self):
+        return (self.service, self.address)
 
 
 class Observability:
@@ -82,6 +119,23 @@ class Observability:
             lambda: sim.now, enabled=trace_enabled, sample_rate=sample_rate, rng=sampler
         )
         self.metrics = MetricsRegistry()
+        #: (service, address) -> TelemetryScope, insertion-ordered
+        self.telemetry_scopes = {}
+
+    def register_scope(
+        self, service, address, host, *, incarnation=0, prefix="", provider=None
+    ) -> "TelemetryScope":
+        """Register (or replace, on reincarnation) a telemetry scope."""
+        scope = TelemetryScope(
+            service, address, host, incarnation=incarnation,
+            prefix=prefix, provider=provider,
+        )
+        self.telemetry_scopes[scope.key] = scope
+        return scope
+
+    def scopes_on(self, host_name: str):
+        """Every registered scope published from ``host_name``."""
+        return [s for s in self.telemetry_scopes.values() if s.host == host_name]
 
     @property
     def enabled(self) -> bool:

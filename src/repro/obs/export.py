@@ -88,9 +88,25 @@ class NetLoggerExporter:
         self._sample_rng = ctx.rng.py(f"obs.export.{host.name}")
         self.spans_exported = 0
         self.spans_sampled_out = 0
+        self.spans_dropped = 0
         self.snapshots_exported = 0
+        self.flushes = 0
+        self.flush_failures = 0
         self.running = False
         self._proc = None
+
+    def stats(self) -> dict:
+        """Own counters, folded into the registry as the ``obs.exporter``
+        view so the watcher is itself watched."""
+        return {
+            "spans_exported": self.spans_exported,
+            "spans_sampled_out": self.spans_sampled_out,
+            "spans_dropped": self.spans_dropped,
+            "snapshots_exported": self.snapshots_exported,
+            "flushes": self.flushes,
+            "flush_failures": self.flush_failures,
+            "queued": len(self._queue),
+        }
 
     # -- wiring ------------------------------------------------------------
     def start(self):
@@ -99,13 +115,25 @@ class NetLoggerExporter:
             return self._proc
         self.running = True
         self.ctx.obs.tracer.on_finish = self._enqueue
+        self.ctx.obs.metrics.register_view("obs.exporter", self.stats)
         self._proc = self.ctx.sim.process(self._run(), name="obs.exporter")
         return self._proc
 
-    def stop(self) -> None:
+    def stop(self, drain: bool = True) -> None:
+        """Unhook the tracer and stop the flush loop.
+
+        With ``drain`` (the default) a final flush process ships whatever
+        is still queued, so a clean stop no longer loses the tail of the
+        span stream.  The drain runs as its own sim process — callers that
+        stop the exporter and keep the simulation running get the tail
+        delivered; callers that stop the whole simulation can run
+        :meth:`flush` explicitly first.
+        """
         self.running = False
         if self.ctx.obs.tracer.on_finish is self._enqueue:
             self.ctx.obs.tracer.on_finish = None
+        if drain and self._queue:
+            self.ctx.sim.process(self.flush(), name="obs.exporter.drain")
 
     def _enqueue(self, span) -> None:
         if self.span_sample < 1.0 and self._sample_rng.random() >= self.span_sample:
@@ -113,36 +141,55 @@ class NetLoggerExporter:
             return
         if len(self._queue) < self.max_batch * 10:  # hard backstop
             self._queue.append(span)
+        else:
+            self.spans_dropped += 1
 
     # -- the flush loop ----------------------------------------------------
-    def _run(self) -> Generator:
-        from repro.core.client import CallError, ServiceClient
-        from repro.net import ConnectionClosed, ConnectionRefused
+    def flush(self, include_metrics: bool = False) -> Generator:
+        """Drain the whole queue now (checkpoint/shutdown path).  Stops
+        early if the logger is unreachable; the queue keeps the rest."""
+        while self._queue:
+            sent = yield from self._flush_once(include_metrics=include_metrics)
+            if not sent:
+                return
 
+    def _run(self) -> Generator:
         sim = self.ctx.sim
         while self.running:
             yield sim.timeout(self.flush_interval)
-            target = self.ctx.netlogger_address
-            if target is None or (not self._queue and not self.metrics_prefix):
+            if not self._queue and not self.metrics_prefix:
                 continue
-            batch, self._queue = self._queue[: self.max_batch], self._queue[self.max_batch:]
-            client = ServiceClient(self.ctx, self.host, principal=self.source)
-            try:
-                conn = yield from client.connect(target)
-            except (CallError, ConnectionClosed, ConnectionRefused):
-                self._queue = batch + self._queue  # retry next flush
-                continue
-            try:
-                for span in batch:
-                    yield from conn.call(
-                        ACECmdLine(
-                            "logEvent",
-                            source=self.source,
-                            event=SPAN_EVENT,
-                            detail=span_to_wire(span),
-                        )
+            yield from self._flush_once(include_metrics=True)
+
+    def _flush_once(self, include_metrics: bool) -> Generator:
+        """Ship one batch (+ optional metrics snapshot); returns True when
+        the batch was delivered."""
+        from repro.core.client import CallError, ServiceClient
+        from repro.net import ConnectionClosed, ConnectionRefused
+
+        target = self.ctx.netlogger_address
+        if target is None:
+            return False
+        batch, self._queue = self._queue[: self.max_batch], self._queue[self.max_batch:]
+        client = ServiceClient(self.ctx, self.host, principal=self.source)
+        try:
+            conn = yield from client.connect(target)
+        except (CallError, ConnectionClosed, ConnectionRefused):
+            self._queue = batch + self._queue  # retry next flush
+            self.flush_failures += 1
+            return False
+        try:
+            for span in batch:
+                yield from conn.call(
+                    ACECmdLine(
+                        "logEvent",
+                        source=self.source,
+                        event=SPAN_EVENT,
+                        detail=span_to_wire(span),
                     )
-                    self.spans_exported += 1
+                )
+                self.spans_exported += 1
+            if include_metrics:
                 snapshot = self.ctx.obs.metrics.snapshot(self.metrics_prefix)
                 if snapshot:
                     detail = ",".join(
@@ -157,10 +204,13 @@ class NetLoggerExporter:
                         )
                     )
                     self.snapshots_exported += 1
-            except (CallError, ConnectionClosed, ConnectionRefused):
-                pass  # best effort: remaining batch rows are lost, queue keeps rest
-            finally:
-                conn.close()
+            self.flushes += 1
+            return True
+        except (CallError, ConnectionClosed, ConnectionRefused):
+            self.flush_failures += 1
+            return False  # best effort: remaining batch rows are lost, queue keeps rest
+        finally:
+            conn.close()
 
 
 def _short(value) -> str:

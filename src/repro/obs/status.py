@@ -1,0 +1,111 @@
+"""``python -m repro.obs.status`` — live cluster status from the E27
+telemetry plane.
+
+Builds a representative environment (infrastructure + replicated store +
+echo service), enables supervision and telemetry, drives a short
+closed-loop workload, then renders the aggregator's
+:class:`~repro.obs.cluster.ClusterSnapshot`: live daemons with
+incarnations and freshness, exact cross-daemon latency rollups, SLO
+burn, top-k slow operations with exemplar trace ids, breaker states, and
+the store topology.  ``--json PATH`` additionally writes the snapshot as
+JSON (the CI artifact).
+
+An existing environment can do the same programmatically::
+
+    aggregator = env.enable_telemetry()
+    env.run_for(5.0)
+    snapshot = ClusterSnapshot.capture(aggregator)
+    print(snapshot.render())
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.lang import ACECmdLine, ArgSpec, ArgType, CommandSemantics
+
+
+def _make_echo_daemon(ctx, name, host, room):
+    from repro.core.daemon import ACEDaemon
+
+    class StatusEchoDaemon(ACEDaemon):
+        """Minimal demo service the status workload calls."""
+
+        service_type = "Echo"
+
+        def build_semantics(self, sem: CommandSemantics) -> None:
+            sem.define("echo", ArgSpec("text", ArgType.STRING))
+
+        def cmd_echo(self, request):
+            return {"text": request.command.str("text"), "by": self.name}
+
+    return StatusEchoDaemon(ctx, name, host, room=room)
+
+
+def build_demo_environment(seed: int = 7, *, interval: float = 1.0):
+    """The demo cluster the CLI (and the CI smoke job) drives."""
+    from repro.env import ACEEnvironment
+
+    env = ACEEnvironment(seed=seed, lease_duration=4.0)
+    env.add_infrastructure()
+    env.add_directory_watcher()
+    env.add_persistent_store(replicas=2)
+    lab = env.add_workstation("lab1", room="lab", monitors=False)
+    env.add_daemon(_make_echo_daemon(env.ctx, "echo", lab, "lab"))
+    env.boot()
+    env.enable_supervision(
+        suspicion_window=3.0, check_interval=0.5, checkpoint_interval=1.0
+    )
+    env.enable_telemetry(interval=interval)
+    return env
+
+
+def _echo_workload(env, *, duration: float, n_clients: int) -> None:
+    from repro.workloads import closed_loop_clients
+
+    closed_loop_clients(
+        env,
+        n_clients=n_clients,
+        duration=duration,
+        target=env.daemons["echo"].address,
+        make_command=lambda i, n: ACECmdLine("echo", text=f"status-{i}-{n}"),
+        think_time=0.05,
+        trace_name="status",
+    )
+    env.run_for(duration + 2.0)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.status",
+        description="render a live ClusterSnapshot from the telemetry plane",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--duration", type=float, default=8.0,
+                        help="workload length, sim-seconds")
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="telemetry push interval, sim-seconds")
+    parser.add_argument("--topk", type=int, default=5)
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write the snapshot as JSON")
+    args = parser.parse_args(argv)
+
+    from repro.obs.cluster import ClusterSnapshot
+
+    env = build_demo_environment(args.seed, interval=args.interval)
+    _echo_workload(env, duration=args.duration, n_clients=args.clients)
+
+    snapshot = ClusterSnapshot.capture(env.daemons["telemetry"], topk=args.topk)
+    print(snapshot.render())
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(snapshot.to_json())
+            fh.write("\n")
+        print(f"\nsnapshot written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -71,6 +71,12 @@ class SupervisorDaemon:
         self._m_persisted = metrics.counter("recovery.checkpoints_persisted")
         self._m_mttr = metrics.histogram("recovery.mttr_ms", _MTTR_BOUNDS)
         metrics.register_view(f"recovery.{host.name}", self.snapshot)
+        # ``recovery.*`` instruments are shared across all supervisors, so
+        # the plane exports exactly one telemetry scope (last registration
+        # wins — same instruments either way) feeding the MTTR-budget SLO.
+        ctx.obs.register_scope(
+            "recovery", "recovery:0", host.name, prefix="recovery.",
+        )
         ctx.supervisors[host.name] = self
 
     # ------------------------------------------------------------------

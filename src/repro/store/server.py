@@ -114,6 +114,12 @@ class PersistentStoreDaemon(Checkpointable, ACEDaemon):
         self._m_ae_changed = metrics.counter(f"store.{name}.ae_buckets_changed")
         self._m_forwards = metrics.counter(f"store.{name}.forwards")
         self._m_rebalanced = metrics.counter(f"store.{name}.rebalanced")
+        # The data plane's own telemetry scope: ``store.<name>.*`` feeds
+        # the cluster replication-lag SLO, tagged with this incarnation.
+        ctx.obs.register_scope(
+            f"store.{name}", f"{host.name}:{self.port}", host.name,
+            incarnation=self.incarnation, prefix=f"store.{name}.",
+        )
 
     def build_semantics(self, sem: CommandSemantics) -> None:
         sem.define(

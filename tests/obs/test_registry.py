@@ -60,3 +60,62 @@ def test_snapshot_flattens_and_filters():
     only_rpc = reg.snapshot("rpc.")
     assert set(only_rpc) == {"rpc.calls", "rpc.retries"}
     assert "rpc.calls" in reg.names()
+
+
+def test_registry_cardinality_cap_evicts_lru():
+    reg = MetricsRegistry(max_series=3)
+    reg.counter("a").inc()
+    reg.counter("b").inc(2)
+    reg.counter("c").inc(3)
+    reg.counter("a")  # touch: "a" becomes most-recent, "b" is now oldest
+    reg.counter("d").inc(4)  # evicts "b"
+    snap = reg.snapshot()
+    assert "b" not in snap
+    assert snap["a"] == 1 and snap["c"] == 3 and snap["d"] == 4
+    assert reg.dropped_series == 1
+    assert snap["obs.dropped_series"] == 1
+    # A re-created series starts fresh (the old one was dropped).
+    assert reg.counter("b").value == 0
+    assert reg.dropped_series == 2  # re-admitting "b" evicted another
+
+
+def test_registry_unbounded_below_cap():
+    reg = MetricsRegistry()
+    for i in range(64):
+        reg.counter(f"c{i}").inc()
+    assert reg.dropped_series == 0
+    assert "obs.dropped_series" not in reg.snapshot()
+
+
+def test_histogram_explicit_bounds_and_conflict():
+    reg = MetricsRegistry()
+    h = reg.histogram("lag", bounds=(1.0, 10.0))
+    assert h.bounds == (1.0, 10.0)
+    assert reg.histogram("lag", bounds=(1.0, 10.0)) is h  # same bounds ok
+    assert reg.histogram("lag") is h  # default lookup ok
+    with pytest.raises(ValueError):
+        reg.histogram("lag", bounds=(2.0, 20.0))
+
+
+def test_histogram_exemplars_latest_wins_per_bucket():
+    h = Histogram(bounds=(0.01, 0.1))
+    assert h.exemplars is None  # lazy until the first exemplar
+    h.observe_ex(0.005, "t1")
+    h.observe_ex(0.007, "t2")  # same bucket: replaces t1
+    h.observe_ex(0.5, "t3")  # overflow bucket
+    assert h.exemplars == {0: ("t2", 0.007), 2: ("t3", 0.5)}
+    assert h.count == 3  # observe_ex counts like observe
+    assert h.bucket_index(0.05) == 1
+
+
+def test_export_scope_strips_prefix():
+    reg = MetricsRegistry()
+    reg.counter("daemon.asd.cmd.lookup").inc(3)
+    reg.gauge("daemon.asd.queue_depth").set(2)
+    live = reg.histogram("daemon.asd.service_time_s")
+    live.observe(0.004)
+    reg.counter("daemon.other.cmd.x").inc()
+    counters, gauges, hists = reg.export_scope("daemon.asd.")
+    assert counters == {"cmd.lookup": 3}
+    assert gauges == {"queue_depth": 2}
+    assert hists == {"service_time_s": live}

@@ -168,3 +168,36 @@ def test_exporter_ships_spans_to_netlogger():
     assert {"shipped", "call:echo", "serve:echo"} <= names
     shipped = next(d for d in decoded if d["name"] == "shipped")
     assert shipped["trace_id"] == root.trace_id and shipped["status"] == "ok"
+
+
+def test_exporter_drains_queue_on_stop():
+    """Satellite fix (E27): ``stop()`` must not strand the tail of the
+    span stream in the batch buffer — a final drain ships it."""
+    ace, echo = make_echo_ace()
+    exporter = NetLoggerExporter(ace.ctx, ace.infra_host, flush_interval=60.0)
+    exporter.start()  # flush interval far beyond the test horizon
+    client = ace.client()
+
+    def flow():
+        root = client.begin_trace("tail")
+        try:
+            yield from client.call_once(echo.address, ACECmdLine("echo", text="hi"))
+        finally:
+            client.end_trace(root)
+
+    ace.run(flow())
+    assert exporter.spans_exported == 0 and exporter.stats()["queued"] >= 3
+    exporter.stop()  # drain=True default
+    ace.sim.run(until=ace.sim.now + 1.0)
+    assert exporter.stats()["queued"] == 0
+    assert exporter.spans_exported >= 3
+    assert exporter.flushes >= 1 and exporter.flush_failures == 0
+    names = {
+        span_from_wire(r.detail)["name"]
+        for r in ace.netlogger._matching("obs", SPAN_EVENT)
+    }
+    assert {"tail", "call:echo", "serve:echo"} <= names
+    # The exporter's own drop/flush counters ride the metrics registry.
+    snap = ace.ctx.obs.metrics.snapshot("obs.exporter.")
+    assert snap["obs.exporter.flushes"] == exporter.flushes
+    assert snap["obs.exporter.spans_dropped"] == 0
