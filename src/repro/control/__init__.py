@@ -1,0 +1,48 @@
+"""``repro.control`` — the E28 closed-loop autoscaling control plane.
+
+PR 7 made the cluster observable; this package makes it *react*.  A
+pure, replay-testable :class:`~repro.control.rules.DecisionEngine`
+evaluates declarative :class:`~repro.control.rules.ScalingRule`\\ s
+(hysteresis bands, sustain, per-direction cooldowns, rate windows,
+min/max bounds) over :class:`~repro.control.rules.ControlSample`\\ s; an
+:class:`~repro.control.daemon.AutoscalerDaemon` feeds it from the live
+telemetry aggregator + ``obsAlert`` notifications and drives the
+environment's scale knobs through :class:`~repro.control.daemon.Actuator`
+bindings, with exactly-once actuation across supervisor restarts.  The
+:mod:`~repro.control.harness` rig replays recorded sample streams on a
+simulated clock, so every scaling decision — live or synthetic — is
+reproducible without timing flakiness.
+"""
+
+from repro.control.daemon import Actuator, AutoscalerDaemon
+from repro.control.harness import (
+    ControlHarness,
+    SimulatedClock,
+    dump_samples,
+    load_samples,
+    replay_decisions,
+)
+from repro.control.rules import (
+    ControlSample,
+    Decision,
+    DecisionEngine,
+    ScalingRule,
+    default_rules,
+)
+from repro.control.signals import SignalReader
+
+__all__ = [
+    "Actuator",
+    "AutoscalerDaemon",
+    "ControlHarness",
+    "ControlSample",
+    "Decision",
+    "DecisionEngine",
+    "ScalingRule",
+    "SignalReader",
+    "SimulatedClock",
+    "default_rules",
+    "dump_samples",
+    "load_samples",
+    "replay_decisions",
+]

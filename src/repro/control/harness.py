@@ -1,0 +1,129 @@
+"""Deterministic control-plane test harness (the E28 test rig).
+
+Scaling decisions are notoriously flaky to test against a live clock:
+the same workload lands samples a tick earlier or later and a cooldown
+admits or blocks an action.  This rig removes time from the equation.
+A :class:`SimulatedClock` is just a number the test advances; a
+:class:`ControlHarness` stamps each synthetic signal reading with that
+clock, feeds it to a :class:`~repro.control.rules.DecisionEngine`, and
+(by default) applies the resulting decisions to its own capacity table —
+a closed loop with no daemons, no wire, and no wall-clock sleeps.
+
+The same rig replays **recorded** streams: the live
+:class:`~repro.control.daemon.AutoscalerDaemon` journals every
+:class:`~repro.control.rules.ControlSample` it evaluated, and
+:func:`replay_decisions` runs that journal through a fresh engine.
+Because the engine is a pure function of the sample stream, the replayed
+decision list must equal the live one — the E28 benchmark asserts
+exactly that, turning every production decision log into a reproducible
+test case.  Streams round-trip through JSONL (:func:`dump_samples` /
+:func:`load_samples`) so CI artifacts double as regression fixtures.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.control.rules import ControlSample, Decision, DecisionEngine, ScalingRule
+
+
+class SimulatedClock:
+    """The harness's whole notion of time: a float the test advances."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+
+    def advance(self, dt: float) -> float:
+        if dt < 0:
+            raise ValueError("clock cannot run backwards")
+        self.now += dt
+        return self.now
+
+
+class ControlHarness:
+    """Drives a :class:`DecisionEngine` from synthetic or recorded samples.
+
+    ``apply_decisions=True`` (the default) closes the loop: each fired
+    decision updates the harness's capacity table, exactly as the live
+    actuators would.  Recorded-stream replay wants ``False`` — recorded
+    samples already carry the capacity the live controller observed."""
+
+    def __init__(
+        self,
+        rules: Sequence[ScalingRule],
+        *,
+        capacity: Optional[Dict[str, int]] = None,
+        clock: Optional[SimulatedClock] = None,
+        apply_decisions: bool = True,
+    ):
+        self.engine = DecisionEngine(rules)
+        self.capacity: Dict[str, int] = dict(capacity or {})
+        self.clock = clock or SimulatedClock()
+        self.apply_decisions = apply_decisions
+        self.samples: List[ControlSample] = []
+        self.decisions: List[Decision] = []
+
+    def step(
+        self, signals: Dict[str, float], dt: float = 1.0,
+        capacity: Optional[Dict[str, int]] = None,
+    ) -> List[Decision]:
+        """Advance the clock, evaluate one synthetic reading."""
+        self.clock.advance(dt)
+        if capacity:
+            self.capacity.update(capacity)
+        sample = ControlSample(
+            time=self.clock.now, signals=dict(signals),
+            capacity=dict(self.capacity),
+        )
+        return self.feed(sample)
+
+    def feed(self, sample: ControlSample) -> List[Decision]:
+        """Evaluate one pre-built sample (recorded-stream path)."""
+        self.samples.append(sample)
+        fired = self.engine.evaluate(sample)
+        if self.apply_decisions:
+            for decision in fired:
+                self.capacity[decision.resource] = decision.to_level
+        self.decisions.extend(fired)
+        return fired
+
+    def run(self, samples: Iterable[ControlSample]) -> List[Decision]:
+        """Feed a whole stream; returns every decision fired."""
+        before = len(self.decisions)
+        for sample in samples:
+            self.feed(sample)
+        return self.decisions[before:]
+
+
+def replay_decisions(
+    rules: Sequence[ScalingRule], samples: Iterable[ControlSample]
+) -> List[Decision]:
+    """Run a recorded sample stream through a fresh engine.
+
+    The recorded capacities are authoritative (they reflect what the
+    live actuators actually did), so decisions are *not* re-applied."""
+    harness = ControlHarness(rules, apply_decisions=False)
+    return harness.run(samples)
+
+
+def dump_samples(samples: Iterable[ControlSample], path: str) -> int:
+    """Write a sample stream as JSONL; returns the row count."""
+    count = 0
+    with open(path, "w") as fh:
+        for sample in samples:
+            fh.write(json.dumps(sample.as_dict(), sort_keys=True))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def load_samples(path: str) -> List[ControlSample]:
+    """Read a :func:`dump_samples` stream back."""
+    samples = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                samples.append(ControlSample.from_dict(json.loads(line)))
+    return samples

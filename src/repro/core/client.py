@@ -332,9 +332,14 @@ class ConnectionPool:
     reuse distinct pooled channels or dial new ones.
     """
 
-    def __init__(self, client: "ServiceClient", max_idle_per_address: int = 4):
+    def __init__(self, client: "ServiceClient", max_idle_per_address: Optional[int] = None):
         self._client = client
+        if max_idle_per_address is None:
+            max_idle_per_address = client.ctx.pool_max_idle
         self.max_idle_per_address = max_idle_per_address
+        # Registered (weakly) so the E28 control plane can resize every
+        # live pool when it turns the pool_size knob.
+        client.ctx._connection_pools.add(self)
         # Keyed by the Address itself (a frozen dataclass): hashing two
         # small fields beats formatting "host:port" on every acquire/release.
         self._idle: dict = {}   # Address -> list[ServiceConnection]
@@ -355,6 +360,14 @@ class ConnectionPool:
         conn = yield from self._client.connect(address, **connect_kw)
         self._m_dial.inc()
         return conn
+
+    def resize(self, max_idle_per_address: int) -> None:
+        """Change the idle cap in place; shrinking closes excess idles."""
+        self.max_idle_per_address = max_idle_per_address
+        for bucket in self._idle.values():
+            while len(bucket) > max_idle_per_address:
+                bucket.pop().close()
+                self._m_discard.inc()
 
     def release(self, address: Address, connection: ServiceConnection) -> None:
         """Return a healthy connection for reuse."""

@@ -87,6 +87,12 @@ class ACEEnvironment:
         #: persistent-store topology (replica-groups + consistent-hash map)
         self._store_groups: List[List[ACEDaemon]] = []
         self._store_shard_map = None
+        #: monotonic naming serial for store groups — hosts outlive a
+        #: drained group, so re-added groups need fresh host names
+        self._store_group_serial = 0
+        #: SupervisorDaemon kwargs once enable_supervision() ran (None =
+        #: supervision off); late-added hosts get supervisors from these
+        self._supervision_kwargs: Optional[dict] = None
         #: ship finished spans + metric snapshots to the NetLogger at boot
         self._obs_export = obs_export
         self._obs_export_kwargs = dict(obs_export_kwargs or {})
@@ -266,6 +272,12 @@ class ACEEnvironment:
         self.ctx.idempotent_retries = idempotent_retries
         if negative_ttl > 0 and self.ctx.lookup_cache is not None:
             self.ctx.lookup_cache.negative_ttl = negative_ttl
+        self._supervision_kwargs = {
+            "suspicion_window": suspicion_window,
+            "check_interval": check_interval,
+            "checkpoint_interval": checkpoint_interval,
+            "checkpoint_to_store": checkpoint_to_store,
+        }
         exempt = set(exclude) | {"dirwatch"}
         supervisors: Dict[str, SupervisorDaemon] = {}
         for name, daemon in self.daemons.items():
@@ -391,10 +403,25 @@ class ACEEnvironment:
     def _supervise_if_enabled(self, daemon: ACEDaemon) -> None:
         """Enroll a late-added daemon with its host's supervisor, when the
         supervision plane is already on (telemetry daemons are ordinary
-        wards — the aggregator's state is soft, so restart is enough)."""
+        wards — the aggregator's state is soft, so restart is enough).
+        Hosts minted after ``enable_supervision()`` — autoscaled store
+        groups, ASD replicas — get a fresh supervisor on the spot."""
         supervisor = self.ctx.supervisors.get(daemon.host.name)
-        if supervisor is not None:
+        if supervisor is None:
+            if self._supervision_kwargs is None:
+                return
+            if isinstance(daemon, (ServiceDirectoryDaemon, DirectoryWatcherDaemon)):
+                return
+            from repro.recovery import SupervisorDaemon
+
+            supervisor = SupervisorDaemon(
+                self.ctx, daemon.host, **self._supervision_kwargs
+            )
+            supervisor.on_restart(self._adopt_restart)
             supervisor.watch(daemon)
+            supervisor.start()
+            return
+        supervisor.watch(daemon)
 
     def _adopt_restart(self, old: ACEDaemon, new: ACEDaemon) -> None:
         """Supervisor restart hook: swap the reincarnation into every
@@ -459,6 +486,7 @@ class ACEEnvironment:
             for daemon in group_daemons:
                 daemon.set_peers(addresses)
             self._store_groups.append(group_daemons)
+        self._store_group_serial = groups
         self._refresh_store_topology()
         return daemons
 
@@ -493,17 +521,22 @@ class ACEEnvironment:
         old_map = self._store_shard_map or ShardMap(1)
         new_map = old_map.grown()
         g = len(self._store_groups)
+        # Name by serial, not group index: a drained group's hosts stay in
+        # the network, so index-based names would collide on re-add.  With
+        # no drains the serial equals the index and names are unchanged.
+        serial = self._store_group_serial
+        self._store_group_serial += 1
         if replicas is None:
             replicas = len(self._store_groups[0])
         group_daemons: List[ACEDaemon] = []
         for i in range(replicas):
             host = self.add_workstation(
-                f"{host_prefix}{g + 1}-{i + 1}", room="machineroom",
+                f"{host_prefix}{serial + 1}-{i + 1}", room="machineroom",
                 bogomips=bogomips, monitors=False,
             )
             daemon = PersistentStoreDaemon(
-                self.ctx, f"ps{g + 1}-{i + 1}", host,
-                port=WellKnownPorts.PERSISTENT_STORE + g * replicas + i,
+                self.ctx, f"ps{serial + 1}-{i + 1}", host,
+                port=WellKnownPorts.PERSISTENT_STORE + serial * replicas + i,
                 room="machineroom", sync_interval=sync_interval,
                 shard_map=new_map, group_index=g, **store_kwargs,
             )
@@ -519,7 +552,66 @@ class ACEEnvironment:
         for grp in self._store_groups[:-1]:
             for daemon in grp:
                 daemon.install_shard_map(new_map, group_addresses)
+        for daemon in group_daemons:
+            self._supervise_if_enabled(daemon)
+            self._publish_host_if_telemetry(daemon.host)
         return group_daemons
+
+    def drain_store_group(self, *, grace: float = 5.0):
+        """Shrink the sharded store by its newest replica-group (the E28
+        scale-down path, the mirror of :meth:`add_store_group`).
+
+        The surviving groups adopt the shrunk map first, then the
+        departing group does — its rebalance streams *everything* it
+        holds to the new owners, while writes that still land on it
+        (stale clients, in-flight commands) ride the misroute-forward
+        path and never apply locally.  After the handoff the departing
+        daemons stay up for ``grace`` seconds as pure forwarders, so
+        straggler clients still holding the old map drain off before the
+        sockets close.  Returns the drain process, which completes after
+        the grace window when the drained daemons are stopped and
+        removed from the environment."""
+        if len(self._store_groups) <= 1:
+            raise RuntimeError("cannot drain the last store group")
+        if self._store_shard_map is None:
+            raise RuntimeError("store is not sharded")
+        new_map = self._store_shard_map.shrunk()
+        drained = self._store_groups[-1]
+        self._store_groups = self._store_groups[:-1]
+        self._store_shard_map = new_map
+        # New clients (and topology-provider clients) route away from the
+        # drained group from this instant.
+        self._refresh_store_topology()
+        group_addresses = self._store_group_addresses()
+        for grp in self._store_groups:
+            for daemon in grp:
+                daemon.install_shard_map(new_map, group_addresses)
+        handoffs = [
+            daemon.install_shard_map(new_map, group_addresses)
+            for daemon in drained
+        ]
+
+        def _finish() -> Generator:
+            yield self.sim.all_of(handoffs)
+            if grace > 0:
+                yield self.sim.timeout(grace)
+            for daemon in drained:
+                supervisor = self.ctx.supervisors.get(daemon.host.name)
+                if supervisor is not None:
+                    supervisor.unwatch(daemon.name)
+                self.ctx.obs.telemetry_scopes.pop(
+                    (daemon.name, f"{daemon.host.name}:{daemon.port}"), None
+                )
+                if daemon.running:
+                    yield daemon.stop()
+                self.daemons.pop(daemon.name, None)
+                self._tiers.pop(daemon.name, None)
+            self.trace.emit(
+                self.sim.now, "env", "store-group-drained",
+                groups=new_map.groups, epoch=new_map.epoch,
+            )
+
+        return self.sim.process(_finish(), name="store-drain")
 
     def store_client(self, host: Host, principal: str = "store-client", **kwargs):
         from repro.store.client import StoreClient
@@ -529,12 +621,227 @@ class ACEEnvironment:
             kwargs.setdefault(
                 "groups", [[d.address for d in grp] for grp in self._store_groups]
             )
+        if self._store_groups:
+            # Follow autoscaling topology changes (grown/drained groups)
+            # instead of routing on the map frozen at construction.  Also
+            # attached to clients of a store that is *not yet* sharded, so
+            # they pick up the shard map the moment the controller grows
+            # the single seed group.
+            kwargs.setdefault("topology_provider", lambda: (
+                self._store_shard_map,
+                [[d.address for d in grp] for grp in self._store_groups],
+            ))
         replicas = sorted(
             (d.address for d in self.daemons.values()
              if type(d).__name__ == "PersistentStoreDaemon"),
             key=str,
         )
         return StoreClient(self.ctx, host, replicas, principal=principal, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Directory scale knobs (E28)
+    # ------------------------------------------------------------------
+    def _directory_daemons(self) -> List[ServiceDirectoryDaemon]:
+        return [
+            d for d in self.daemons.values()
+            if isinstance(d, ServiceDirectoryDaemon)
+        ]
+
+    def add_asd_replica(self) -> ACEDaemon:
+        """Grow the directory group by one replica on its own host.
+
+        The newcomer is constructed *with* the group, so its anti-entropy
+        loop spawns at start and pulls the primary's records; existing
+        members learn the widened group and start pushing dirReplicate
+        to it on every write."""
+        primary = self.daemons.get("asd")
+        if primary is None:
+            raise RuntimeError("add_infrastructure() first")
+        existing = self._directory_daemons()
+        index = 1 + max(
+            (int(d.name[3:]) for d in existing if d.name[3:].isdigit()),
+            default=1,
+        )
+        host_name = f"{primary.host.name}-asd{index}"
+        if host_name in self.net.hosts:
+            # A previously-retired replica's machine: re-add the daemon to
+            # it instead of minting a colliding host.
+            host = self.net.host(host_name)
+        else:
+            host = self.add_workstation(
+                host_name, room=primary.room,
+                bogomips=primary.host.bogomips, cores=primary.host.cores,
+                monitors=False,
+            )
+        addresses = self.ctx.directory_addresses() or [primary.address]
+        new_group = addresses + [Address(host.name, WellKnownPorts.ASD)]
+        replica = ServiceDirectoryDaemon(
+            self.ctx, f"asd{index}", host, port=WellKnownPorts.ASD,
+            room=primary.room, sync_interval=primary.sync_interval,
+            group=new_group,
+        )
+        self.ctx.asd_addresses = list(new_group)
+        for daemon in existing:
+            daemon.set_group(new_group)
+        self.add_daemon(replica, tier=_TIER_BOOTSTRAP)
+        self._publish_host_if_telemetry(host)
+        self.trace.emit(
+            self.sim.now, "env", "asd-replica-added",
+            name=replica.name, replicas=len(new_group),
+        )
+        return replica
+
+    def retire_asd_replica(self, name: Optional[str] = None) -> ACEDaemon:
+        """Shrink the directory group by one follower (never the leader).
+
+        The survivors drop the retiree from their group first — writes
+        stop replicating to it — then it deregisters and stops.  Clients
+        fail over across ``ctx.asd_addresses``, so shrinking the list is
+        all they need."""
+        addresses = self.ctx.directory_addresses()
+        if len(addresses) <= 1:
+            raise RuntimeError("no follower replica to retire")
+        by_address = {d.address: d for d in self._directory_daemons()}
+        if name is None:
+            victim = by_address[addresses[-1]]
+        else:
+            victim = self.daemons[name]
+        if victim.address == addresses[0]:
+            raise ValueError("cannot retire the directory leader")
+        new_group = [a for a in addresses if a != victim.address]
+        self.ctx.asd_addresses = list(new_group)
+        for daemon in self._directory_daemons():
+            if daemon is not victim:
+                daemon.set_group(new_group)
+        self.ctx.obs.telemetry_scopes.pop(
+            (victim.name, f"{victim.host.name}:{victim.port}"), None
+        )
+        if victim.running:
+            victim.stop()
+        self.daemons.pop(victim.name, None)
+        self._tiers.pop(victim.name, None)
+        self.trace.emit(
+            self.sim.now, "env", "asd-replica-retired",
+            name=victim.name, replicas=len(new_group),
+        )
+        return victim
+
+    def resize_connection_pools(self, max_idle_per_address: int) -> int:
+        """Retarget every live connection pool's idle cap (plus the
+        default new pools inherit); returns how many pools changed."""
+        if max_idle_per_address < 1:
+            raise ValueError("pool size must be >= 1")
+        self.ctx.pool_max_idle = max_idle_per_address
+        resized = 0
+        for pool in list(self.ctx._connection_pools):
+            if pool.max_idle_per_address != max_idle_per_address:
+                pool.resize(max_idle_per_address)
+                resized += 1
+        return resized
+
+    def _publish_host_if_telemetry(self, host: Host) -> None:
+        """Hosts added after ``enable_telemetry()`` (autoscaled store
+        groups, ASD replicas) get their publisher here."""
+        if "telemetry" not in self.daemons:
+            return
+        pub_name = f"telem.{host.name}"
+        if pub_name in self.daemons:
+            return
+        from repro.obs.cluster import TelemetryPublisherDaemon
+
+        aggregator = self.daemons["telemetry"]
+        publisher = TelemetryPublisherDaemon(
+            self.ctx, pub_name, host, interval=aggregator.interval,
+        )
+        self.add_daemon(publisher, tier=_TIER_DATABASE)
+        self._supervise_if_enabled(publisher)
+
+    # ------------------------------------------------------------------
+    # Closed-loop autoscaling (E28)
+    # ------------------------------------------------------------------
+    def enable_autoscaling(
+        self,
+        *,
+        interval: float = 1.0,
+        rules=None,
+        host: Optional[Host] = None,
+        latency_service: str = "",
+        max_store_groups: int = 4,
+        max_asd_replicas: int = 3,
+        max_pool: int = 16,
+        **daemon_kwargs,
+    ) -> ACEDaemon:
+        """Turn on the E28 closed-loop control plane.
+
+        Requires telemetry (enabled on demand).  Builds one
+        :class:`~repro.control.AutoscalerDaemon` wired to this
+        environment's scale knobs — store groups
+        (:meth:`add_store_group` / :meth:`drain_store_group`), directory
+        replicas (:meth:`add_asd_replica` / :meth:`retire_asd_replica`),
+        and connection-pool sizing (:meth:`resize_connection_pools`) —
+        and registers it like any daemon: ASD-discoverable, traced, and
+        supervised when the recovery plane is on.  ``rules`` defaults to
+        :func:`~repro.control.default_rules` scaled to the interval."""
+        from repro.control import (
+            Actuator,
+            AutoscalerDaemon,
+            SignalReader,
+            default_rules,
+        )
+
+        if "autoscaler" in self.daemons:
+            return self.daemons["autoscaler"]
+        aggregator = self.enable_telemetry(interval=interval)
+        if host is None:
+            host = aggregator.host
+
+        actuators: Dict[str, Actuator] = {}
+        if self._store_groups:
+            actuators["store_groups"] = Actuator(
+                "store_groups",
+                level=lambda: len(self._store_groups),
+                scale=lambda decision: (
+                    self.add_store_group() if decision.direction > 0
+                    else self.drain_store_group()
+                ),
+            )
+        if "asd" in self.daemons:
+            actuators["asd_replicas"] = Actuator(
+                "asd_replicas",
+                level=lambda: max(1, len(self.ctx.directory_addresses())),
+                scale=lambda decision: (
+                    self.add_asd_replica() if decision.direction > 0
+                    else self.retire_asd_replica()
+                ),
+            )
+        actuators["pool_size"] = Actuator(
+            "pool_size",
+            level=lambda: self.ctx.pool_max_idle,
+            scale=lambda decision: self.resize_connection_pools(
+                decision.to_level
+            ),
+        )
+        if rules is None:
+            rules = default_rules(
+                interval=interval, max_store_groups=max_store_groups,
+                max_asd_replicas=max_asd_replicas, max_pool=max_pool,
+            )
+        rules = tuple(r for r in rules if r.resource in actuators)
+        reader = SignalReader(
+            lambda: self.daemons["telemetry"],
+            lambda: {
+                resource: actuator.level()
+                for resource, actuator in actuators.items()
+            },
+            latency_service=latency_service,
+        )
+        daemon = AutoscalerDaemon(
+            self.ctx, "autoscaler", host, interval=interval, rules=rules,
+            reader=reader.read, actuators=actuators, **daemon_kwargs,
+        )
+        self.add_daemon(daemon, tier=_TIER_DATABASE)
+        self._supervise_if_enabled(daemon)
+        return daemon
 
     def add_id_devices(self, host: Host, room: str = "") -> Tuple[ACEDaemon, ACEDaemon]:
         """A fingerprint scanner + iButton reader at an access point."""

@@ -22,6 +22,12 @@ rows); with telemetry off nothing here is constructed and the wire is
 byte-identical to pre-E27 traffic.
 """
 
+from repro.obs.cluster.alerts import (
+    alert_from_command,
+    alert_from_payload,
+    alert_to_command,
+    is_fast_burn,
+)
 from repro.obs.cluster.merge import (
     HistogramData,
     MergeError,
@@ -44,8 +50,12 @@ __all__ = [
     "ScopeSnapshot",
     "TelemetryAggregatorDaemon",
     "TelemetryPublisherDaemon",
+    "alert_from_command",
+    "alert_from_payload",
+    "alert_to_command",
     "decode_scopes",
     "default_slos",
     "encode_scope",
+    "is_fast_burn",
     "merge_histograms",
 ]

@@ -40,6 +40,7 @@ from repro.obs.cluster.merge import (
     decode_scopes,
     merge_histograms,
 )
+from repro.obs.cluster.alerts import alert_to_command
 from repro.obs.cluster.slo import SLOEngine, SLOSpec, split_histogram
 
 
@@ -99,6 +100,10 @@ class TelemetryAggregatorDaemon(ACEDaemon):
             ArgSpec("severity", ArgType.STRING),
             ArgSpec("burn_long", ArgType.NUMBER),
             ArgSpec("burn_short", ArgType.NUMBER),
+            # E28: escaped kind|objective|long_window|short_window record
+            # (repro.obs.cluster.alerts); optional so pre-E28 alert forms
+            # still validate and old listeners ignore it.
+            ArgSpec("detail", ArgType.STRING, required=False, default=""),
             description="SLO burn-rate alert (watch via addNotification)",
         )
 
@@ -287,12 +292,7 @@ class TelemetryAggregatorDaemon(ACEDaemon):
                 # Route through the notification plane: executing our own
                 # obsAlert fires addNotification watchers on the verb.
                 try:
-                    yield from self.self_execute(ACECmdLine(
-                        "obsAlert", slo=alert["slo"],
-                        severity=alert["severity"],
-                        burn_long=round(alert["burn_long"], 6),
-                        burn_short=round(alert["burn_short"], 6),
-                    ))
+                    yield from self.self_execute(alert_to_command(alert))
                 except (CallError, ConnectionClosed, ConnectionRefused):
                     pass
 

@@ -1,0 +1,85 @@
+"""The ``obsAlert`` wire codec.
+
+E27's alerts carried only ``(slo, severity, burn_long, burn_short)`` on
+the wire — enough to page a human, not enough for a controller: telling
+a *fast* burn (short windows, act now) from a *slow* one (long windows,
+a ticket) needs the spec's kind and window lengths, which never left the
+aggregator.  E28 extends the form with one optional ``detail`` argument
+— an escaped ``kind|objective|long_window|short_window`` record built
+with the house :mod:`repro.lang.wire` helpers — so the extension is
+backward-compatible in both directions: pre-E28 alerts decode with the
+detail fields absent, and pre-E28 listeners simply ignore the extra
+argument.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang import ACECmdLine, ACELanguageError, parse_command
+from repro.lang.wire import join_wire, split_wire
+
+#: detail-record fields, wire order
+ALERT_DETAIL_FIELDS = ("kind", "objective", "long_window", "short_window")
+
+
+def alert_to_command(alert: dict) -> ACECmdLine:
+    """Encode an SLO-engine alert dict as an ``obsAlert`` command."""
+    command = ACECmdLine(
+        "obsAlert",
+        slo=str(alert["slo"]),
+        severity=str(alert.get("severity", "page")),
+        burn_long=round(float(alert.get("burn_long", 0.0)), 6),
+        burn_short=round(float(alert.get("burn_short", 0.0)), 6),
+    )
+    if any(key in alert for key in ALERT_DETAIL_FIELDS):
+        command = command.with_args(detail=join_wire((
+            str(alert.get("kind", "")),
+            repr(float(alert.get("objective", 0.0))),
+            repr(float(alert.get("long_window", 0.0))),
+            repr(float(alert.get("short_window", 0.0))),
+        )))
+    return command
+
+
+def alert_from_command(command: ACECmdLine) -> dict:
+    """Decode an ``obsAlert`` command (old or new form) into a dict."""
+    alert = {
+        "slo": command.str("slo", ""),
+        "severity": command.str("severity", "page"),
+        "burn_long": command.float("burn_long", 0.0),
+        "burn_short": command.float("burn_short", 0.0),
+    }
+    detail = command.str("detail", "")
+    if detail:
+        fields = split_wire(detail)
+        if len(fields) == len(ALERT_DETAIL_FIELDS):
+            try:
+                alert["kind"] = fields[0]
+                alert["objective"] = float(fields[1])
+                alert["long_window"] = float(fields[2])
+                alert["short_window"] = float(fields[3])
+            except ValueError:
+                alert.pop("kind", None)
+                alert.pop("objective", None)
+    return alert
+
+
+def alert_from_payload(payload: str) -> Optional[dict]:
+    """Decode a notification callback's forwarded payload (the original
+    ``obsAlert`` command text); ``None`` when it is not one."""
+    try:
+        command = parse_command(payload)
+    except ACELanguageError:
+        return None
+    if command.name != "obsAlert":
+        return None
+    return alert_from_command(command)
+
+
+def is_fast_burn(alert: dict, horizon: float) -> bool:
+    """A *fast* burn watches short windows: its long window fits inside
+    ``horizon`` seconds.  Alerts without window info are never fast —
+    a controller should not take emergency action on a legacy alert."""
+    long_window = alert.get("long_window")
+    return long_window is not None and float(long_window) <= horizon

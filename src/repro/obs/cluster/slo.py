@@ -130,6 +130,13 @@ class SLOState:
                 "time": now,
                 "burn_long": self.burn_long,
                 "burn_short": self.burn_short,
+                # E28: the controller-facing fields a listener needs to
+                # tell a fast burn from a slow one (they ride the wire in
+                # the obsAlert ``detail`` record — repro.obs.cluster.alerts)
+                "kind": self.spec.kind,
+                "objective": self.spec.objective,
+                "long_window": self.spec.long_window,
+                "short_window": self.spec.short_window,
             }
         if self.alerting and self.burn_short <= self.spec.burn_threshold:
             self.alerting = False

@@ -43,7 +43,8 @@ def _make_echo_daemon(ctx, name, host, room):
     return StatusEchoDaemon(ctx, name, host, room=room)
 
 
-def build_demo_environment(seed: int = 7, *, interval: float = 1.0):
+def build_demo_environment(seed: int = 7, *, interval: float = 1.0,
+                           control: bool = False):
     """The demo cluster the CLI (and the CI smoke job) drives."""
     from repro.env import ACEEnvironment
 
@@ -58,7 +59,58 @@ def build_demo_environment(seed: int = 7, *, interval: float = 1.0):
         suspicion_window=3.0, check_interval=0.5, checkpoint_interval=1.0
     )
     env.enable_telemetry(interval=interval)
+    if control:
+        env.enable_autoscaling(interval=interval, latency_service="echo")
     return env
+
+
+def render_control(control: dict) -> str:
+    """Terminal tables for the E28 controller's :meth:`snapshot`."""
+    from repro.metrics import ResultTable
+
+    out = []
+    rules = ResultTable(
+        f"autoscaler rules (interval={control['interval']:g}s, "
+        f"ticks={control['ticks']}, executed={control['executed']})",
+        ["rule", "signal", "resource", "band", "bounds", "actions", "cooldown"],
+    )
+    for row in control["rules"]:
+        rules.add(
+            row["rule"], row["signal"], row["resource"],
+            f"{row['low']:g}..{row['high']:g}",
+            f"{row['min']}..{row['max']}", row["actions"],
+            f"{row['cooldown_remaining']:g}s",
+        )
+    out.append(rules.render())
+
+    decisions = ResultTable(
+        "recent scaling decisions",
+        ["id", "resource", "dir", "level", "at", "status"],
+    )
+    for d in control["decisions"]:
+        decisions.add(
+            d["id"], d["resource"], "up" if d["direction"] > 0 else "down",
+            f"{d['from_level']}->{d['to_level']}", f"{d['at']:.2f}s",
+            d["status"],
+        )
+    out.append(decisions.render())
+
+    blocked = control["blocked"]
+    out.append(
+        "blocked: "
+        + "  ".join(f"{k}={blocked[k]}" for k in sorted(blocked))
+    )
+    if control["alerts"]:
+        alerts = ResultTable(
+            "alerts seen", ["slo", "severity", "kind", "received"]
+        )
+        for alert in control["alerts"]:
+            alerts.add(
+                alert.get("slo", "?"), alert.get("severity", "?"),
+                alert.get("kind", "-"), f"{alert['received_at']:.2f}s",
+            )
+        out.append(alerts.render())
+    return "\n\n".join(out)
 
 
 def _echo_workload(env, *, duration: float, n_clients: int) -> None:
@@ -88,17 +140,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--interval", type=float, default=1.0,
                         help="telemetry push interval, sim-seconds")
     parser.add_argument("--topk", type=int, default=5)
+    parser.add_argument("--control", action="store_true",
+                        help="enable the E28 autoscaler and show its rules, "
+                             "recent decisions, and cooldown state")
     parser.add_argument("--json", metavar="PATH",
                         help="also write the snapshot as JSON")
     args = parser.parse_args(argv)
 
     from repro.obs.cluster import ClusterSnapshot
 
-    env = build_demo_environment(args.seed, interval=args.interval)
+    env = build_demo_environment(args.seed, interval=args.interval,
+                                 control=args.control)
     _echo_workload(env, duration=args.duration, n_clients=args.clients)
 
     snapshot = ClusterSnapshot.capture(env.daemons["telemetry"], topk=args.topk)
     print(snapshot.render())
+    if args.control:
+        control = env.daemons["autoscaler"].snapshot(topk=args.topk)
+        snapshot.data["control"] = control
+        print("\n" + render_control(control))
     if args.json:
         with open(args.json, "w") as fh:
             fh.write(snapshot.to_json())

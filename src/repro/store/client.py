@@ -78,6 +78,7 @@ class StoreClient:
         groups: Optional[Sequence[Sequence[Address]]] = None,
         cache_reads: bool = False,
         cache_ttl: float = READ_CACHE_TTL,
+        topology_provider=None,
     ):
         if not replicas:
             raise ValueError("need at least one replica address")
@@ -91,6 +92,11 @@ class StoreClient:
             raise ValueError(
                 f"shard map expects {shard_map.groups} groups, got {len(self.groups)}"
             )
+        #: optional ``() -> (shard_map, [[Address, ...], ...])`` callable;
+        #: when set it is consulted per call, so clients handed out by the
+        #: environment follow autoscaling topology changes (added/drained
+        #: groups) instead of routing on a map frozen at construction
+        self.topology_provider = topology_provider
         self.cache_reads = cache_reads
         self.cache_ttl = cache_ttl
         self._cache: Dict[str, Tuple[str, Dict[str, str], float]] = {}
@@ -107,8 +113,20 @@ class StoreClient:
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
+    def _refresh_topology(self) -> None:
+        if self.topology_provider is None:
+            return
+        shard_map, groups = self.topology_provider()
+        if shard_map is not self.shard_map:
+            self.shard_map = shard_map
+            self.groups = [list(g) for g in (groups or [])]
+            self.replicas = sorted(
+                (a for group in self.groups for a in group), key=str
+            ) or self.replicas
+
     def _group_replicas(self, path: Optional[str]) -> List[Address]:
         """The addresses that can serve ``path`` (all, when unsharded)."""
+        self._refresh_topology()
         if path is None or self.shard_map is None or not self.groups:
             return self.replicas
         return self.groups[self.shard_map.shard_for(path)]
@@ -233,6 +251,7 @@ class StoreClient:
     def list(self, prefix: str = "/") -> Generator:
         """All matching paths, following ``next`` pages transparently and
         merging across shard groups."""
+        self._refresh_topology()
         if self.shard_map is not None and self.groups:
             merged: List[str] = []
             for group in self.groups:

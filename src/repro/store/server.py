@@ -271,7 +271,12 @@ class PersistentStoreDaemon(Checkpointable, ACEDaemon):
         return moved
 
     def _misroute_owner(self, path: str) -> Optional[int]:
-        if self.shard_map is None or self.shard_map.groups == 1:
+        if self.shard_map is None:
+            return None
+        if self.shard_map.groups == 1 and self.group_index == 0:
+            # Unsharded fast path.  A *draining* daemon (group_index
+            # beyond the map, e.g. shrunk back to one group) must still
+            # fall through and forward — it owns nothing anymore.
             return None
         owner = self.shard_map.shard_for(path)
         return None if owner == self.group_index else owner

@@ -63,6 +63,18 @@ class ShardMap:
         """A new map with one more group (epoch bumped)."""
         return ShardMap(self.groups + 1, vnodes=self.vnodes, epoch=self.epoch + 1)
 
+    def shrunk(self) -> "ShardMap":
+        """A new map with the *last* group removed (epoch bumped).
+
+        Only the highest group index can leave: its vnodes vanish from
+        the ring and every key it owned falls to the next surviving
+        vnode, while keys owned by remaining groups keep their owners —
+        the mirror of :meth:`grown`, so a drain moves only the departing
+        group's 1/N of the namespace."""
+        if self.groups <= 1:
+            raise ValueError("cannot shrink below one group")
+        return ShardMap(self.groups - 1, vnodes=self.vnodes, epoch=self.epoch + 1)
+
     def moved_paths(self, paths: Sequence[str], new_map: "ShardMap") -> List[str]:
         """Paths whose owner changes between this map and ``new_map``."""
         return [p for p in paths if self.shard_for(p) != new_map.shard_for(p)]

@@ -1,0 +1,162 @@
+"""Property-based tests for the E28 decision engine's safety invariants.
+
+Everything runs on the deterministic harness (no daemons, no wall
+clock) with ``derandomize=True`` so CI is reproducible.  The three
+headline invariants from the issue:
+
+* actions never take a resource outside ``[min_level, max_level]``;
+* consecutive actions from one rule are never closer than the firing
+  direction's cooldown;
+* hysteresis: a signal oscillating inside the band — or flapping
+  across one threshold faster than ``sustain`` — never flaps the
+  resource.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.control import ControlHarness, ScalingRule
+
+SETTINGS = dict(deadline=None, derandomize=True)
+
+
+def make_rule(
+    low, high, min_level, max_level, *, step=1,
+    up_cooldown=0.0, down_cooldown=0.0, sustain=0.0,
+    max_actions_per_window=0, rate_window=60.0,
+):
+    return ScalingRule(
+        "r", signal="sig", resource="res", high=high, low=low,
+        min_level=min_level, max_level=max_level, step=step,
+        up_cooldown=up_cooldown, down_cooldown=down_cooldown,
+        sustain=sustain, max_actions_per_window=max_actions_per_window,
+        rate_window=rate_window,
+    )
+
+
+rule_shapes = st.builds(
+    make_rule,
+    low=st.floats(0.0, 10.0),
+    high=st.floats(10.001, 100.0),
+    min_level=st.integers(1, 3),
+    max_level=st.integers(3, 8),
+    step=st.integers(1, 3),
+    up_cooldown=st.floats(0.0, 5.0),
+    down_cooldown=st.floats(0.0, 10.0),
+    sustain=st.floats(0.0, 3.0),
+)
+
+signal_streams = st.lists(st.floats(0.0, 200.0), min_size=1, max_size=60)
+
+
+@given(rule=rule_shapes, values=signal_streams,
+       start=st.integers(1, 8))
+@settings(max_examples=300, **SETTINGS)
+def test_actions_never_violate_bounds(rule, values, start):
+    """No decision targets a level outside [min_level, max_level], and a
+    capacity that starts inside the bounds never leaves them."""
+    harness = ControlHarness([rule], capacity={"res": start})
+    for value in values:
+        harness.step({"sig": value})
+    for decision in harness.decisions:
+        assert rule.min_level <= decision.to_level <= rule.max_level
+    started_inside = rule.min_level <= start <= rule.max_level
+    if started_inside and harness.decisions:
+        assert rule.min_level <= harness.capacity["res"] <= rule.max_level
+
+
+@given(rule=rule_shapes, values=signal_streams,
+       dt=st.floats(0.1, 2.0))
+@settings(max_examples=300, **SETTINGS)
+def test_consecutive_actions_respect_cooldown(rule, values, dt):
+    """Any two consecutive decisions from one rule are at least the
+    second decision's direction-cooldown apart — in particular an up and
+    a down can never fire within one cooldown of each other."""
+    harness = ControlHarness([rule], capacity={"res": rule.min_level})
+    for value in values:
+        harness.step({"sig": value}, dt=dt)
+    for first, second in zip(harness.decisions, harness.decisions[1:]):
+        gap = second.at - first.at
+        assert gap >= rule.cooldown_for(second.direction) - 1e-9
+
+
+@given(
+    low=st.floats(1.0, 10.0),
+    band=st.floats(0.5, 10.0),
+    n=st.integers(2, 50),
+    jitter=st.floats(0.0, 0.49),
+)
+@settings(max_examples=200, **SETTINGS)
+def test_oscillation_inside_band_never_fires(low, band, n, jitter):
+    """A signal bouncing anywhere inside (low, high) fires nothing."""
+    high = low + band
+    rule = make_rule(low, high, 1, 5)
+    harness = ControlHarness([rule], capacity={"res": 2})
+    for i in range(n):
+        # Alternate between the lower and upper halves of the band.
+        frac = 0.25 + jitter if i % 2 else 0.75 - jitter
+        harness.step({"sig": low + band * frac})
+    assert harness.decisions == []
+
+
+@given(n=st.integers(4, 60), sustain=st.floats(1.5, 5.0))
+@settings(max_examples=200, **SETTINGS)
+def test_flapping_across_threshold_is_absorbed_by_sustain(n, sustain):
+    """A signal alternating across ``high`` every 1s tick never holds
+    beyond the threshold for ``sustain`` > 1s, so nothing ever fires."""
+    rule = make_rule(1.0, 10.0, 1, 5, sustain=sustain)
+    harness = ControlHarness([rule], capacity={"res": 2})
+    for i in range(n):
+        harness.step({"sig": 20.0 if i % 2 else 5.0}, dt=1.0)
+    assert harness.decisions == []
+
+
+@given(n=st.integers(10, 60))
+@settings(max_examples=100, **SETTINGS)
+def test_oscillation_around_threshold_cannot_flap(n):
+    """Around the *high* threshold the signal is either over it or back
+    inside the band — so only scale-ups can fire, never a down: the
+    hysteresis gap means flapping one threshold cannot reverse."""
+    rule = make_rule(1.0, 10.0, 1, 8)
+    harness = ControlHarness([rule], capacity={"res": 2})
+    for i in range(n):
+        harness.step({"sig": 12.0 if i % 2 else 8.0})
+    assert all(d.direction > 0 for d in harness.decisions)
+
+
+@given(values=signal_streams, cap=st.integers(1, 3),
+       window=st.floats(5.0, 20.0))
+@settings(max_examples=200, **SETTINGS)
+def test_rate_window_caps_actions(values, cap, window):
+    """At most ``max_actions_per_window`` decisions in any trailing
+    window of ``rate_window`` seconds."""
+    rule = make_rule(
+        1.0, 10.0, 1, 100, max_actions_per_window=cap, rate_window=window,
+    )
+    harness = ControlHarness([rule], capacity={"res": 1})
+    for value in values:
+        harness.step({"sig": value})
+    times = [d.at for d in harness.decisions]
+    for i, t in enumerate(times):
+        inside = [u for u in times[: i + 1] if u > t - window]
+        assert len(inside) <= cap
+
+
+@given(n=st.integers(1, 40))
+@settings(max_examples=100, **SETTINGS)
+def test_one_action_per_resource_per_tick(n):
+    """Two rules driving one resource: declaration order wins, and the
+    capacity moves by at most one rule's step per tick."""
+    first = ScalingRule("a", signal="s1", resource="res", high=10.0,
+                        low=1.0, max_level=100,
+                        up_cooldown=0.0, down_cooldown=0.0)
+    second = ScalingRule("b", signal="s2", resource="res", high=10.0,
+                         low=1.0, max_level=100,
+                         up_cooldown=0.0, down_cooldown=0.0)
+    harness = ControlHarness([first, second], capacity={"res": 5})
+    for _ in range(n):
+        before = harness.capacity["res"]
+        fired = harness.step({"s1": 50.0, "s2": 50.0})
+        assert len(fired) <= 1
+        assert abs(harness.capacity["res"] - before) <= first.step
+        if fired:
+            assert fired[0].rule == "a"

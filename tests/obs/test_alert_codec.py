@@ -1,0 +1,146 @@
+"""The extended ``obsAlert`` wire codec (E28 satellite): severity and
+window fields must round-trip — escaped — and stay backward-compatible
+with the pre-E28 form in both directions."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import ACECmdLine, parse_command
+from repro.obs.cluster.alerts import (
+    ALERT_DETAIL_FIELDS,
+    alert_from_command,
+    alert_from_payload,
+    alert_to_command,
+    is_fast_burn,
+)
+
+SETTINGS = dict(deadline=None, derandomize=True)
+
+#: SLO names with every wire-hostile *printable* character the house
+#: codec escapes (control characters are rejected by the language layer)
+gnarly = st.text(
+    alphabet=st.characters(codec="utf-8", exclude_categories=("C",)),
+    min_size=1, max_size=24,
+).map(lambda s: s.strip() or "slo")
+
+
+def full_alert(slo="service-latency", severity="page"):
+    return {
+        "slo": slo, "severity": severity,
+        "burn_long": 3.25, "burn_short": 14.5,
+        "kind": "latency", "objective": 0.95,
+        "long_window": 60.0, "short_window": 5.0,
+    }
+
+
+def test_full_round_trip():
+    alert = full_alert()
+    decoded = alert_from_command(alert_to_command(alert))
+    assert decoded == alert
+
+
+def test_payload_round_trip_through_wire_text():
+    """The notification plane forwards the alert as command *text* — the
+    exact path the AutoscalerDaemon decodes."""
+    alert = full_alert()
+    payload = alert_to_command(alert).to_string()
+    assert alert_from_payload(payload) == alert
+
+
+@given(slo=gnarly, severity=st.sampled_from(["page", "ticket"]),
+       objective=st.floats(0.0, 1.0),
+       long_window=st.floats(0.0, 3600.0),
+       short_window=st.floats(0.0, 600.0))
+@settings(max_examples=300, **SETTINGS)
+def test_round_trip_survives_gnarly_fields(slo, severity, objective,
+                                           long_window, short_window):
+    alert = {
+        "slo": slo, "severity": severity,
+        "burn_long": 1.5, "burn_short": 2.5, "kind": "avail|kind\\x",
+        "objective": objective, "long_window": long_window,
+        "short_window": short_window,
+    }
+    payload = alert_to_command(alert).to_string()
+    decoded = alert_from_payload(payload)
+    assert decoded["slo"] == slo
+    assert decoded["severity"] == severity
+    assert decoded["kind"] == "avail|kind\\x"
+    assert decoded["objective"] == objective
+    assert decoded["long_window"] == long_window
+    assert decoded["short_window"] == short_window
+
+
+def test_legacy_alert_decodes_without_detail_fields():
+    """A pre-E28 producer sends no detail arg: the decoder must not
+    invent window fields."""
+    legacy = ACECmdLine(
+        "obsAlert", slo="rpc-availability", severity="page",
+        burn_long=5.0, burn_short=20.0,
+    )
+    decoded = alert_from_command(legacy)
+    assert decoded["slo"] == "rpc-availability"
+    assert decoded["burn_long"] == 5.0
+    for key in ALERT_DETAIL_FIELDS:
+        assert key not in decoded
+
+
+def test_legacy_listener_ignores_detail_arg():
+    """A pre-E28 consumer reads only the original four args — the new
+    detail arg must not disturb them (same command, extra key)."""
+    command = alert_to_command(full_alert())
+    assert command.str("slo") == "service-latency"
+    assert command.str("severity") == "page"
+    assert command.float("burn_long") == 3.25
+    assert command.float("burn_short") == 14.5
+    # And the text form re-parses as a plain obsAlert.
+    reparsed = parse_command(command.to_string())
+    assert reparsed.name == "obsAlert"
+
+
+def test_minimal_alert_gets_defaults():
+    decoded = alert_from_command(ACECmdLine("obsAlert", slo="x"))
+    assert decoded == {
+        "slo": "x", "severity": "page",
+        "burn_long": 0.0, "burn_short": 0.0,
+    }
+
+
+def test_corrupt_detail_degrades_to_legacy_form():
+    command = ACECmdLine(
+        "obsAlert", slo="s", severity="page", burn_long=1.0,
+        burn_short=2.0, detail="latency|not-a-float|60.0|5.0",
+    )
+    decoded = alert_from_command(command)
+    assert decoded["slo"] == "s"
+    assert "kind" not in decoded
+    assert "objective" not in decoded
+
+
+def test_non_alert_payloads_rejected():
+    assert alert_from_payload("notAnAlert slo=x") is None
+    assert alert_from_payload("complete garbage ||| \\") is None
+    assert alert_from_payload("") is None
+
+
+def test_fast_burn_classification():
+    fast = dict(full_alert(), long_window=3.0)
+    slow = dict(full_alert(), long_window=600.0)
+    legacy = {"slo": "x", "severity": "page"}
+    assert is_fast_burn(fast, horizon=6.0)
+    assert not is_fast_burn(slow, horizon=6.0)
+    assert not is_fast_burn(legacy, horizon=6.0)   # never fast without windows
+
+
+def test_aggregator_emits_detail_on_live_alerts():
+    """End-to-end: a live SLOState alert dict encodes with the detail
+    field present (the aggregator path added in this PR)."""
+    from repro.obs.cluster import default_slos
+
+    spec = default_slos(1.0)[0]
+    alert = {
+        "slo": spec.name, "severity": "page", "burn_long": 10.0,
+        "burn_short": 20.0, "kind": spec.kind, "objective": spec.objective,
+        "long_window": spec.long_window, "short_window": spec.short_window,
+    }
+    command = alert_to_command(alert)
+    assert command.str("detail", "")
+    assert alert_from_command(command)["kind"] == spec.kind
