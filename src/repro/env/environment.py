@@ -16,6 +16,7 @@ launchers, then everything else.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Generator, List, Optional, Tuple, Type
 
 from repro.net import Address, Host, Network
@@ -65,11 +66,23 @@ class ACEEnvironment:
         net_kwargs: Optional[dict] = None,
         obs_export: bool = False,
         obs_export_kwargs: Optional[dict] = None,
+        shard=None,
     ):
         self.sim = Simulator()
         self.rng = RngRegistry(seed)
         self.trace = TraceRecorder(enabled=trace)
-        self.net = Network(self.sim, self.rng, self.trace, **(net_kwargs or {}))
+        #: :class:`~repro.sim.parallel.ShardContext` when this environment
+        #: is one shard of a sharded run (None = ordinary single kernel)
+        self.shard = shard
+        if shard is not None and shard.n_shards > 1:
+            from repro.net.boundary import BoundaryNetwork
+
+            self.net = BoundaryNetwork(
+                self.sim, self.rng, self.trace, shard=shard,
+                **(net_kwargs or {}),
+            )
+        else:
+            self.net = Network(self.sim, self.rng, self.trace, **(net_kwargs or {}))
         self.ctx = DaemonContext(
             sim=self.sim, net=self.net, rng=self.rng, trace=self.trace,
             lease_duration=lease_duration,
@@ -137,6 +150,11 @@ class ACEEnvironment:
     # Daemons
     # ------------------------------------------------------------------
     def add_daemon(self, daemon: ACEDaemon, tier: int = _TIER_SERVICE) -> ACEDaemon:
+        if self.shard is not None and not self.shard.owns(daemon.host.name):
+            # Ghost daemon: constructed (so construction-time RNG draws and
+            # host state match every shard) but never registered or started
+            # — its live twin runs in the shard owning this host.
+            return daemon
         if daemon.name in self.daemons:
             raise ValueError(f"duplicate daemon name {daemon.name!r}")
         self.daemons[daemon.name] = daemon
@@ -942,6 +960,50 @@ class ACEEnvironment:
             self.exporter.start()
         return self
 
+    def boot_async(self, settle: float = 2.0) -> Generator:
+        """Generator-form boot, for sharded runs (E29).
+
+        Same tiered sequence as :meth:`boot`, expressed as a kernel
+        process because a shard may not free-run its own clock — the
+        :class:`~repro.sim.parallel.ShardedSimulator` coordinator owns
+        time.  Two deliberate differences from :meth:`boot`:
+
+        * daemon starts within a tier are staggered by a deterministic
+          per-name sub-millisecond offset (:func:`_boot_stagger`), which
+          breaks same-instant registration ties so the merged trace is
+          shard-count invariant;
+        * room registration runs inline in this process instead of via
+          ``run_process``.
+
+        The whole sequence spans ``2.25 * settle`` plus the staggers, so
+        callers should run the simulation at least that far.
+        """
+        if self._booted:
+            raise RuntimeError("environment already booted")
+        self._booted = True
+        if self.ctx.security.mode is SecurityMode.SSL_KEYNOTE:
+            self.trust_all_services()
+        for tier in range(_TIER_SERVICE + 1):
+            for name, daemon in self.daemons.items():
+                if self._tiers[name] == tier:
+                    self.sim.process(self._staggered_start(daemon),
+                                     name=f"boot:{name}")
+            yield self.sim.timeout(settle / 4)
+            if tier == _TIER_BOOTSTRAP and self.rooms and "roomdb" in self.daemons:
+                yield from self._register_rooms()
+        yield self.sim.timeout(settle)
+        if self._obs_export and "netlogger" in self.daemons:
+            from repro.obs import NetLoggerExporter
+
+            self.exporter = NetLoggerExporter(
+                self.ctx, self.daemons["netlogger"].host, **self._obs_export_kwargs
+            )
+            self.exporter.start()
+
+    def _staggered_start(self, daemon: ACEDaemon) -> Generator:
+        yield self.sim.timeout(_boot_stagger(daemon.name))
+        daemon.start()
+
     def _register_rooms(self) -> Generator:
         from repro.lang import ACECmdLine
 
@@ -991,3 +1053,16 @@ class ACEEnvironment:
     def asd_address(self) -> Address:
         assert self.ctx.asd_address is not None
         return self.ctx.asd_address
+
+
+def _boot_stagger(name: str) -> float:
+    """Deterministic sub-millisecond start offset for a daemon name.
+
+    Depends only on the name, never on shard layout, so the offset — and
+    therefore same-tier start order — is identical at every shard count.
+    The large prime modulus (nanosecond steps below 1 ms) makes two
+    daemons colliding on the same offset vanishingly rare, which is what
+    keeps registration traffic tie-free.
+    """
+    digest = hashlib.blake2b(name.encode("utf-8"), digest_size=8).digest()
+    return (int.from_bytes(digest, "big") % 999983) * 1e-9

@@ -100,8 +100,11 @@ class Network:
         connect_timeout: float = 1.0,
     ):
         self.sim = sim
-        self.rng = rng or RngRegistry(0)
-        self.trace = trace or TraceRecorder(enabled=False)
+        self.rng = rng if rng is not None else RngRegistry(0)
+        # NB: an empty TraceRecorder is falsy (it has __len__), so a plain
+        # ``trace or ...`` would silently discard the caller's recorder and
+        # network records would never reach the environment trace.
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
         self.local_latency = local_latency
         self.lan_latency = lan_latency
         self.backbone_latency = backbone_latency
@@ -276,30 +279,38 @@ class Network:
         """Three-message handshake; returns the client-side Connection.
 
         Raises :class:`ConnectionRefused` if nothing listens at ``dest``, the
-        destination is down/partitioned away, or the timeout elapses.
+        destination is down/partitioned away, or the timeout elapses.  As in
+        real TCP, the client's ephemeral port is allocated when ``connect``
+        is called (before the SYN leaves) and a refusal travels back as an
+        RST, surfacing one full round trip after the call.
         """
         src.check_up()
         timeout = self.connect_timeout if timeout is None else timeout
         dst_host = self.hosts.get(dest.host)
+        local = Address(src.name, self.ephemeral_port(src.name))
         # SYN leg.
         yield self.sim.timeout(self._path_latency(src, dst_host) if dst_host else timeout)
         if dst_host is None or not self._reachable(src, dst_host) or not src.up:
             yield self.sim.timeout(timeout)
             raise ConnectionRefused(f"no route to {dest}")
+        refusal: Optional[str] = None
+        client: Optional[Connection] = None
         listener = self._listeners.get(dest)
         if listener is None or listener.closed:
-            raise ConnectionRefused(f"nothing listening at {dest}")
-        local = Address(src.name, self.ephemeral_port(src.name))
-        client = Connection(self, src, local, dest)
-        server = Connection(self, dst_host, dest, local)
-        client.peer = server
-        server.peer = client
-        if not listener._offer(server):
-            raise ConnectionRefused(f"listener at {dest} closed during handshake")
-        # SYN-ACK leg back to the client.
+            refusal = f"nothing listening at {dest}"
+        else:
+            client = Connection(self, src, local, dest)
+            server = Connection(self, dst_host, dest, local)
+            client.peer = server
+            server.peer = client
+            if not listener._offer(server):
+                refusal = f"listener at {dest} closed during handshake"
+        # SYN-ACK (or RST, when refused) leg back to the client.
         yield self.sim.timeout(self._path_latency(dst_host, src))
         if not src.up:
             raise HostDownError(src.name)
+        if refusal is not None:
+            raise ConnectionRefused(refusal)
         self.trace.emit(self.sim.now, "network", "connect", src=str(local), dst=str(dest))
         return client
 

@@ -8,7 +8,8 @@ closed-loop workload, then renders the aggregator's
 incarnations and freshness, exact cross-daemon latency rollups, SLO
 burn, top-k slow operations with exemplar trace ids, breaker states, and
 the store topology.  ``--json PATH`` additionally writes the snapshot as
-JSON (the CI artifact).
+JSON (the CI artifact).  ``--shards N`` switches to the E29 sharded-campus
+demo and renders per-shard sync/boundary counters instead.
 
 An existing environment can do the same programmatically::
 
@@ -113,6 +114,74 @@ def render_control(control: dict) -> str:
     return "\n\n".join(out)
 
 
+def run_sharded_demo(seed: int = 29, *, n_shards: int = 2, users: int = 120,
+                     duration: float = 6.0, regions: int = 4) -> dict:
+    """Small sharded campus run (E29, local mode); returns the report dict."""
+    import functools
+
+    from repro.env import build_campus, campus_shard_map
+    from repro.sim.parallel import ShardedSimulator
+    from repro.workloads import (
+        PopulationProfile, collect_population, start_population,
+    )
+
+    profile = PopulationProfile(n_users=users, duration=duration,
+                                process="poisson")
+    builder = functools.partial(build_campus, regions=regions, seed=seed)
+    shard_map = campus_shard_map(regions, n_shards) if n_shards > 1 else None
+    sim = ShardedSimulator(builder, n_shards=n_shards,
+                           host_to_shard=shard_map, mode="local", seed=seed)
+    with sim:
+        sim.boot(settle=2.0)
+        sim.spawn(start_population, profile=profile)
+        sim.run(sim.now + duration + 3.0)
+        results = sim.collect(collect_population)
+        return {
+            "n_shards": n_shards,
+            "regions": regions,
+            "users": users,
+            "sim_s": sim.now,
+            "ops": sum(r["ops"] for r in results),
+            "errors": sum(r["errors"] for r in results),
+            "counters": sim.counters(),
+            "shards": sim.shard_reports(),
+            "merged_trace_sha256": sim.merged_trace().hash(),
+        }
+
+
+def render_sharding(report: dict) -> str:
+    """Terminal tables for a :func:`run_sharded_demo` report."""
+    from repro.metrics import ResultTable
+
+    table = ResultTable(
+        f"sharded kernel (E29): {report['users']} users / "
+        f"{report['regions']} regions on {report['n_shards']} shard(s), "
+        f"{report['ops']} ops",
+        ["shard", "events", "cpu_s", "windows", "stalls",
+         "boundary_out", "bytes_out", "trace_recs"],
+    )
+    for i, shard in enumerate(report["shards"]):
+        boundary = shard.get("boundary", {})
+        table.add(
+            i, int(shard["kernel"]["events_delivered"]),
+            round(shard["cpu_s"], 3), shard["windows"],
+            shard["lookahead_stalls"],
+            boundary.get("boundary_msgs_out", 0),
+            boundary.get("boundary_bytes_out", 0),
+            shard["trace_records"],
+        )
+    counters = report["counters"]
+    totals = "  ".join(
+        f"{key}={int(counters[key])}"
+        for key in ("events_delivered", "sync.windows", "sync.null_messages",
+                    "sync.lookahead_stalls", "boundary.msgs_out")
+        if key in counters
+    )
+    return (table.render()
+            + f"\ntotals: {totals}"
+            + f"\nmerged trace sha256: {report['merged_trace_sha256'][:16]}…")
+
+
 def _echo_workload(env, *, duration: float, n_clients: int) -> None:
     from repro.workloads import closed_loop_clients
 
@@ -143,9 +212,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--control", action="store_true",
                         help="enable the E28 autoscaler and show its rules, "
                              "recent decisions, and cooldown state")
+    parser.add_argument("--shards", type=int, default=0, metavar="N",
+                        help="run the E29 sharded-campus demo on N kernel "
+                             "shards instead of the telemetry demo, and "
+                             "show per-shard sync/boundary counters")
     parser.add_argument("--json", metavar="PATH",
                         help="also write the snapshot as JSON")
     args = parser.parse_args(argv)
+
+    if args.shards:
+        import json as _json
+
+        report = run_sharded_demo(args.seed, n_shards=args.shards,
+                                  duration=args.duration)
+        print(render_sharding(report))
+        if args.json:
+            with open(args.json, "w") as fh:
+                _json.dump(report, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"\nshard report written to {args.json}")
+        return 0
 
     from repro.obs.cluster import ClusterSnapshot
 

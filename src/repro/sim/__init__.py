@@ -30,7 +30,14 @@ from repro.sim.kernel import (
 from repro.sim.queues import PriorityStore, QueueClosed, Store
 from repro.sim.resources import Container, Resource
 from repro.sim.rng import RngRegistry
-from repro.sim.trace import TraceRecord, TraceRecorder
+from repro.sim.trace import (
+    MergedTrace,
+    MergedTraceRecord,
+    TraceRecord,
+    TraceRecorder,
+    canonical_trace_hash,
+    merge_traces,
+)
 
 __all__ = [
     "AllOf",
@@ -39,6 +46,8 @@ __all__ = [
     "Event",
     "Interrupt",
     "LOW",
+    "MergedTrace",
+    "MergedTraceRecord",
     "NORMAL",
     "PriorityStore",
     "Process",
@@ -52,4 +61,6 @@ __all__ = [
     "TraceRecord",
     "TraceRecorder",
     "URGENT",
+    "canonical_trace_hash",
+    "merge_traces",
 ]

@@ -554,6 +554,41 @@ class Simulator:
             self.n_delivered += delivered
             self._running = False
 
+    def run_window(self, before: float) -> int:
+        """Process every occurrence strictly earlier than ``before``.
+
+        The conservative-sync hook for sharded runs (E29): a shard kernel
+        may safely process all events with ``time < before`` when its peers
+        cannot send it anything arriving earlier than ``before`` (the
+        coordinator guarantees this via the inter-shard lookahead).  Unlike
+        :meth:`run`, the clock is **not** advanced to ``before`` — it stays
+        at the last delivered occurrence, because the window bound is a
+        safety horizon, not a time barrier.  Returns the number of
+        occurrences delivered.
+        """
+        if self._running:
+            raise SimulationError("run_window() is not reentrant")
+        if before <= self._now:
+            return 0
+        self._running = True
+        heap = self._heap
+        r0, r1, r2 = self._ready
+        pop = self._pop_next
+        delivered = 0
+        try:
+            # Ready entries are always due at the current time, which stays
+            # strictly below ``before`` inside this loop (only delivered
+            # occurrence times advance it).
+            while r0 or r1 or r2 or (heap and heap[0][0] < before):
+                when, item = pop()
+                self._now = when
+                delivered += 1
+                item._deliver()
+        finally:
+            self.n_delivered += delivered
+            self._running = False
+        return delivered
+
     def run_process(self, generator: Generator, name: str = "", timeout: Optional[float] = None) -> Any:
         """Convenience: spawn a process, run until it finishes, return its value.
 

@@ -1,0 +1,17 @@
+"""Sharded multi-process simulation kernel (E29).
+
+Partitions a simulated network across kernel shards — one OS process per
+shard — with conservative (CMB-style) synchronization: the minimum
+cross-shard link latency is the lookahead, and the coordinator grants
+time windows the shards process independently.  See
+:mod:`repro.sim.parallel.sharded` for the protocol and
+:mod:`repro.net.boundary` for how cross-shard traffic stays on the
+ordinary link model.
+"""
+
+from repro.sim.parallel.context import ShardContext
+from repro.sim.parallel.runtime import ShardServer, shard_process_main
+from repro.sim.parallel.sharded import ShardedSimulator
+
+__all__ = ["ShardContext", "ShardServer", "ShardedSimulator",
+           "shard_process_main"]

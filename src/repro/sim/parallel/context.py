@@ -1,0 +1,60 @@
+"""Shard identity: which shard a host belongs to, and shard-local RNG.
+
+A :class:`ShardContext` is handed to the topology *builder* callable in
+every shard.  All shards build the identical topology from it (ghost
+hosts included — see :mod:`repro.net.boundary`); the context only decides
+*ownership*: which hosts run live daemons/workloads in this kernel.
+
+RNG discipline (satellite: shard count must never perturb draws)
+----------------------------------------------------------------
+Per-host / per-user / per-daemon named streams must keep coming from the
+environment's **root** :class:`~repro.sim.rng.RngRegistry` — streams are
+keyed ``(seed, name)`` only, so a host's draw sequence is identical at 1,
+2, or 4 shards (regression-tested).  ``shard_rng`` — the registry forked
+via ``RngRegistry.fork("shard:<i>")`` — exists for randomness that is
+*inherently* shard-local (e.g. shard-infrastructure jitter) and must not
+collide with, or perturb, the root streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sim.kernel import SimulationError
+from repro.sim.rng import RngRegistry
+
+
+@dataclass
+class ShardContext:
+    """Identity and host-placement map for one kernel shard."""
+
+    index: int
+    n_shards: int
+    #: host name -> shard index; ``None`` means everything lives on shard 0
+    host_to_shard: Optional[Callable[[str], int]] = None
+    seed: int = 0
+    shard_rng: RngRegistry = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < self.n_shards:
+            raise SimulationError(
+                f"shard index {self.index} out of range for {self.n_shards} shards"
+            )
+        self.shard_rng = RngRegistry(self.seed).fork(f"shard:{self.index}")
+
+    def shard_of(self, host_name: str) -> int:
+        """The shard that owns ``host_name``."""
+        if self.n_shards == 1 or self.host_to_shard is None:
+            return 0
+        shard = int(self.host_to_shard(host_name))
+        if not 0 <= shard < self.n_shards:
+            raise SimulationError(
+                f"host {host_name!r} mapped to shard {shard}, "
+                f"but only {self.n_shards} shards exist"
+            )
+        return shard
+
+    def owns(self, host_name: str) -> bool:
+        """Does this shard run the live daemons/sockets of ``host_name``?"""
+        return self.shard_of(host_name) == self.index

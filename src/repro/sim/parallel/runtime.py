@@ -1,0 +1,158 @@
+"""Per-shard runtime: the message loop that drives one kernel shard.
+
+Each shard — whether it lives in its own OS process or in-process for
+tests — is a :class:`ShardServer` answering a tiny request/reply protocol
+from the coordinator (:class:`~repro.sim.parallel.sharded.ShardedSimulator`):
+
+=============  =====================================================
+``build``      run the topology builder, report lookahead + next event
+``boot``       start ``env.boot_async(settle)`` as a kernel process
+``spawn``      call a module-level ``fn(env, ctx, *args, **kwargs)``
+``peek``       report next event time and current clock
+``window``     inject boundary messages, run events strictly before W,
+               drain the outbox, report next event time
+``advance``    ``sim.run(until=t)`` — clock catch-up, queues already dry
+``collect``    call ``fn(env, ctx, ...)`` and return its (picklable) result
+``counters``   kernel counters + sync/boundary/cpu telemetry
+``trace``      the shard-local trace log
+``stop``       exit the loop
+=============  =====================================================
+
+Requests and replies are plain picklable tuples: ``("verb", *payload)``
+in, ``("ok", result)`` or ``("error", traceback_text)`` out.  ``spawn``/
+``collect`` functions must be module-level (they cross a pickle
+boundary in process mode).
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.net.boundary import BoundaryNetwork
+from repro.sim.parallel.context import ShardContext
+
+
+class ShardServer:
+    """Owns one environment + kernel and executes coordinator requests."""
+
+    def __init__(self, index: int, n_shards: int,
+                 builder: Callable[[ShardContext], Any],
+                 host_to_shard: Optional[Callable[[str], int]] = None,
+                 seed: int = 0):
+        self.ctx = ShardContext(index, n_shards, host_to_shard, seed)
+        self.builder = builder
+        self.env: Any = None
+        self.windows = 0
+        self.lookahead_stalls = 0
+
+    # -- dispatch -------------------------------------------------------
+    def handle(self, msg: Tuple[Any, ...]) -> Any:
+        return getattr(self, f"_do_{msg[0]}")(*msg[1:])
+
+    # -- verbs ----------------------------------------------------------
+    def _do_build(self) -> Dict[str, Any]:
+        self.env = self.builder(self.ctx)
+        sim, net = self.env.sim, self.env.net
+        lookahead = float("inf")
+        if isinstance(net, BoundaryNetwork):
+            lookahead = net.compute_lookahead()
+        owned = sum(1 for name in net.hosts if self.ctx.owns(name))
+        return {
+            "lookahead": lookahead,
+            "next": sim.peek(),
+            "hosts_owned": owned,
+            "hosts_total": len(net.hosts),
+        }
+
+    def _do_boot(self, settle: float) -> Dict[str, Any]:
+        self.env.sim.process(self.env.boot_async(settle), name="boot")
+        return {"next": self.env.sim.peek()}
+
+    def _do_spawn(self, fn: Callable, args: tuple, kwargs: dict) -> Dict[str, Any]:
+        result = fn(self.env, self.ctx, *args, **kwargs)
+        return {"next": self.env.sim.peek(), "result": result}
+
+    def _do_peek(self) -> Dict[str, Any]:
+        return {"next": self.env.sim.peek(), "now": self.env.sim.now}
+
+    def _do_window(self, before: float, msgs: list) -> Dict[str, Any]:
+        net = self.env.net
+        if msgs:
+            net.inject(msgs)
+        delivered = self.env.sim.run_window(before)
+        self.windows += 1
+        if delivered == 0:
+            self.lookahead_stalls += 1
+        outbox = net.drain_outbox() if isinstance(net, BoundaryNetwork) else {}
+        return {
+            "next": self.env.sim.peek(),
+            "now": self.env.sim.now,
+            "outbox": outbox,
+            "delivered": delivered,
+        }
+
+    def _do_advance(self, until: float) -> Dict[str, Any]:
+        if until > self.env.sim.now:
+            self.env.sim.run(until=until)
+        return {"next": self.env.sim.peek(), "now": self.env.sim.now}
+
+    def _do_collect(self, fn: Callable, args: tuple, kwargs: dict) -> Dict[str, Any]:
+        return {"result": fn(self.env, self.ctx, *args, **kwargs)}
+
+    def _do_counters(self) -> Dict[str, Any]:
+        sim, net = self.env.sim, self.env.net
+        info: Dict[str, Any] = {
+            "kernel": dict(sim.counters()),
+            "now": sim.now,
+            "cpu_s": time.process_time(),
+            "windows": self.windows,
+            "lookahead_stalls": self.lookahead_stalls,
+            "trace_records": len(self.env.trace.records),
+        }
+        if isinstance(net, BoundaryNetwork):
+            info["boundary"] = net.boundary.snapshot()
+        return info
+
+    def _do_trace(self) -> list:
+        return list(self.env.trace.records)
+
+    def _do_stop(self) -> Dict[str, Any]:
+        return {}
+
+
+def shard_process_main(index: int, n_shards: int,
+                       builder: Callable[[ShardContext], Any],
+                       host_to_shard: Optional[Callable[[str], int]],
+                       seed: int, conn) -> None:
+    """Entry point of a shard OS process: serve requests until ``stop``.
+
+    Any exception inside a request is reported as ``("error", tb)`` and the
+    loop keeps serving — the coordinator decides whether it is fatal.  A
+    broken pipe (coordinator gone) exits quietly.
+    """
+    server = ShardServer(index, n_shards, builder, host_to_shard, seed)
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        try:
+            reply = ("ok", server.handle(msg))
+        except BaseException:
+            reply = ("error", traceback.format_exc())
+        try:
+            conn.send(reply)
+        except (EOFError, OSError):
+            return
+        except Exception:
+            # result not picklable — still answer, or the coordinator hangs
+            try:
+                conn.send(("error",
+                           f"shard {index}: unpicklable reply to {msg[0]!r}\n"
+                           + traceback.format_exc()))
+            except Exception:
+                return
+        if msg and msg[0] == "stop":
+            return

@@ -1,0 +1,373 @@
+"""Coordinator for the sharded multi-process simulation kernel (E29).
+
+:class:`ShardedSimulator` partitions a simulated network across kernel
+shards — OS processes in ``mode="process"``, in-process servers in
+``mode="local"`` (same code path, handy for tests) — and keeps them
+conservatively synchronized with a *time-grant window* protocol:
+
+1. Every shard reports its next event time; together with the timestamps
+   of boundary messages still held by the coordinator this gives the
+   global next-event time ``T``.
+2. The coordinator grants the window ``W = min(T + lookahead,
+   nextafter(until))`` to all shards in one round: each shard receives its
+   pending boundary messages, processes every event strictly before ``W``
+   (:meth:`~repro.sim.kernel.Simulator.run_window`), drains its outbox,
+   and reports its new next-event time.
+3. Repeat until the horizon is reached, then a final ``advance`` round
+   snaps every shard clock to ``until`` exactly like ``Simulator.run``.
+
+Safety: the lookahead is the minimum cross-shard link latency
+(:meth:`~repro.net.boundary.BoundaryNetwork.compute_lookahead`), so a
+message sent at ``t >= T`` arrives at ``t' >= T + lookahead >= W`` — never
+inside the window being processed.  A grant that moves no events forward
+on a shard is that shard's *null message* in classic CMB terms; both are
+counted and surfaced through :meth:`counters`.
+
+With one shard the coordinator degenerates to a single window per
+``run()`` over the unmodified kernel — bit-identical to ``Simulator.run``
+(guarded by the kernel determinism suite).
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sim.kernel import SimulationError
+from repro.sim.parallel.context import ShardContext
+from repro.sim.parallel.runtime import ShardServer, shard_process_main
+from repro.sim.trace import MergedTrace, merge_traces
+
+
+class _LocalHandle:
+    """In-process shard: requests execute synchronously on send()."""
+
+    def __init__(self, index: int, n_shards: int, builder, host_to_shard, seed):
+        self.server = ShardServer(index, n_shards, builder, host_to_shard, seed)
+        self._reply: Any = None
+
+    def send(self, msg: tuple) -> None:
+        import traceback
+        try:
+            self._reply = ("ok", self.server.handle(msg))
+        except Exception:
+            self._reply = ("error", traceback.format_exc())
+
+    def recv(self) -> Any:
+        reply, self._reply = self._reply, None
+        return reply
+
+    def shutdown(self, force: bool = False) -> None:
+        self.server = None
+
+
+class _ProcessHandle:
+    """A shard in its own OS process, reached over a multiprocessing pipe."""
+
+    def __init__(self, index: int, n_shards: int, builder, host_to_shard, seed):
+        try:
+            mp = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            mp = multiprocessing.get_context()
+        parent, child = mp.Pipe()
+        self.proc = mp.Process(
+            target=shard_process_main,
+            args=(index, n_shards, builder, host_to_shard, seed, child),
+            name=f"ace-shard-{index}",
+            daemon=True,
+        )
+        self.proc.start()
+        child.close()
+        self.conn = parent
+
+    def send(self, msg: tuple) -> None:
+        self.conn.send(msg)
+
+    def recv(self) -> Any:
+        return self.conn.recv()
+
+    def shutdown(self, force: bool = False) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self.proc.join(timeout=None if not force else 0.5)
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(timeout=5)
+
+
+class ShardedSimulator:
+    """Drive N kernel shards as one logical simulation.
+
+    Parameters
+    ----------
+    builder:
+        ``builder(ctx: ShardContext) -> Environment``.  Must build the
+        *full* topology deterministically in every shard; in process mode
+        it must be picklable-by-fork (module-level or closure — the fork
+        start method inherits it).
+    n_shards:
+        Number of kernel shards.  ``1`` runs the unmodified kernel.
+    host_to_shard:
+        Module-level callable mapping host name -> shard index.  Required
+        when ``n_shards > 1``.
+    mode:
+        ``"process"`` (default) or ``"local"`` (in-process, for tests).
+    seed:
+        Forwarded to every :class:`ShardContext` (shard-local RNG forks).
+
+    Duck-types the slice of :class:`~repro.sim.kernel.Simulator` that
+    :class:`~repro.obs.profiling.ProfileScope` consumes (``now``,
+    ``counters()``), so profiling a sharded run needs no special casing.
+    """
+
+    def __init__(self, builder: Callable[[ShardContext], Any], *,
+                 n_shards: int = 1,
+                 host_to_shard: Optional[Callable[[str], int]] = None,
+                 mode: str = "process",
+                 seed: int = 0):
+        if n_shards < 1:
+            raise SimulationError(f"n_shards must be >= 1, got {n_shards}")
+        if n_shards > 1 and host_to_shard is None:
+            raise SimulationError("n_shards > 1 requires a host_to_shard map")
+        if mode not in ("process", "local"):
+            raise SimulationError(f"unknown shard mode {mode!r}")
+        self.builder = builder
+        self.n_shards = n_shards
+        self.host_to_shard = host_to_shard
+        self.mode = mode
+        self.seed = seed
+        self.lookahead = float("inf")
+        self.rounds = 0          # window rounds completed
+        self.grants = 0          # window grants sent (rounds * shards)
+        self.null_grants = 0     # grants carrying no boundary payload
+        self._now = 0.0
+        self._handles: List[Any] = []
+        self._next: List[float] = []
+        #: boundary messages awaiting relay, dst shard -> [msg, ...]
+        self._held: Dict[int, List[tuple]] = {}
+        self._started = False
+        self._closed = False
+        self._build_info: List[Dict[str, Any]] = []
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "ShardedSimulator":
+        if self._started:
+            raise SimulationError("ShardedSimulator already started")
+        self._started = True
+        handle_cls = _ProcessHandle if self.mode == "process" else _LocalHandle
+        for i in range(self.n_shards):
+            self._handles.append(
+                handle_cls(i, self.n_shards, self.builder,
+                           self.host_to_shard, self.seed)
+            )
+        infos = self._request_all(("build",))
+        self._build_info = infos
+        self._next = [info["next"] for info in infos]
+        self.lookahead = min(info["lookahead"] for info in infos)
+        if self.n_shards > 1:
+            if self.lookahead <= 0.0:
+                self._abort()
+                raise SimulationError(
+                    "zero inter-shard lookahead: hosts in different shards "
+                    "share a zero-latency link; adjust the host_to_shard map "
+                    "or the link latencies"
+                )
+            owned = sum(info["hosts_owned"] for info in infos)
+            total = infos[0]["hosts_total"]
+            if owned != total:
+                self._abort()
+                raise SimulationError(
+                    f"host_to_shard is not a partition: {owned} hosts owned "
+                    f"across shards, {total} in the topology"
+                )
+        return self
+
+    def close(self) -> None:
+        """Stop all shards cleanly.  Idempotent."""
+        if not self._started or self._closed:
+            self._closed = True
+            return
+        self._closed = True
+        for handle in self._handles:
+            try:
+                handle.send(("stop",))
+                handle.recv()
+            except Exception:
+                pass
+        for handle in self._handles:
+            handle.shutdown()
+
+    def _abort(self) -> None:
+        """Tear down after a failure: no stop round, just reap."""
+        self._closed = True
+        for handle in self._handles:
+            handle.shutdown(force=True)
+
+    def __enter__(self) -> "ShardedSimulator":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request plumbing ----------------------------------------------
+    def _request_all(self, msg: Optional[tuple],
+                     per_shard: Optional[List[tuple]] = None) -> List[Any]:
+        """Send to every shard, then collect every reply.
+
+        Sending everything before receiving anything is what lets process
+        shards execute a window concurrently.
+        """
+        for i, handle in enumerate(self._handles):
+            try:
+                handle.send(msg if per_shard is None else per_shard[i])
+            except (OSError, ValueError) as exc:
+                self._abort()
+                raise SimulationError(f"shard {i} died mid-run ({exc!r})") from None
+        out: List[Any] = []
+        for i, handle in enumerate(self._handles):
+            try:
+                reply = handle.recv()
+            except (EOFError, OSError) as exc:
+                self._abort()
+                raise SimulationError(f"shard {i} died mid-run ({exc!r})") from None
+            if not reply or reply[0] != "ok":
+                detail = reply[1] if reply else "no reply"
+                self._abort()
+                raise SimulationError(f"shard {i} failed:\n{detail}")
+            out.append(reply[1])
+        return out
+
+    def _require_started(self) -> None:
+        if not self._started:
+            raise SimulationError("ShardedSimulator not started (use start() "
+                                  "or a with-block)")
+        if self._closed:
+            raise SimulationError("ShardedSimulator is closed")
+
+    # -- simulation driving --------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def run(self, until: float) -> int:
+        """Advance the whole simulation to ``until`` (inclusive).
+
+        Returns the number of events delivered across all shards.  The
+        horizon is mandatory: daemon loops never drain, so an unbounded
+        run would not terminate (same contract as ``Simulator.run`` in
+        practice everywhere in this repo).
+        """
+        self._require_started()
+        until = float(until)
+        if until < self._now:
+            raise SimulationError(
+                f"cannot run backwards: until={until} < now={self._now}"
+            )
+        upper = math.nextafter(until, math.inf)
+        delivered = 0
+        while True:
+            horizon = min(self._next)
+            for msgs in self._held.values():
+                for m in msgs:
+                    if m[1] < horizon:
+                        horizon = m[1]
+            if horizon > until:
+                break
+            window = horizon + self.lookahead
+            if window > upper:
+                window = upper
+            per_shard: List[tuple] = []
+            for i in range(self.n_shards):
+                inbox = self._held.pop(i, [])
+                if not inbox:
+                    self.null_grants += 1
+                per_shard.append(("window", window, inbox))
+            self.grants += self.n_shards
+            reports = self._request_all(None, per_shard)
+            self.rounds += 1
+            for i, rep in enumerate(reports):
+                self._next[i] = rep["next"]
+                delivered += rep["delivered"]
+                for dst, msgs in rep["outbox"].items():
+                    self._held.setdefault(int(dst), []).extend(msgs)
+        finals = self._request_all(("advance", until))
+        self._next = [f["next"] for f in finals]
+        self._now = until
+        return delivered
+
+    def run_for(self, duration: float) -> int:
+        """Advance by ``duration`` simulated seconds from the current time."""
+        return self.run(self._now + float(duration))
+
+    def boot(self, settle: float = 2.0) -> "ShardedSimulator":
+        """Boot every shard's environment (tiered, staggered) and settle.
+
+        Mirrors ``Environment.boot(settle)``: the async boot sequence
+        spans ``2.25 * settle`` plus sub-millisecond start staggers, so we
+        run to ``2.5 * settle + 1.0`` — a fixed horizon, making the
+        post-boot clock shard-count invariant.
+        """
+        self._require_started()
+        reports = self._request_all(("boot", float(settle)))
+        self._next = [r["next"] for r in reports]
+        self.run(self._now + 2.5 * float(settle) + 1.0)
+        return self
+
+    def spawn(self, fn: Callable, *args: Any, **kwargs: Any) -> List[Any]:
+        """Call ``fn(env, ctx, *args, **kwargs)`` in every shard.
+
+        ``fn`` decides per shard what to start (typically: spawn workload
+        processes only for hosts the shard owns).  Must be module-level in
+        process mode.  Returns the per-shard results.
+        """
+        self._require_started()
+        reports = self._request_all(("spawn", fn, tuple(args), dict(kwargs)))
+        self._next = [r["next"] for r in reports]
+        return [r["result"] for r in reports]
+
+    def collect(self, fn: Callable, *args: Any, **kwargs: Any) -> List[Any]:
+        """Call ``fn(env, ctx, ...)`` in every shard and gather results."""
+        self._require_started()
+        reports = self._request_all(("collect", fn, tuple(args), dict(kwargs)))
+        return [r["result"] for r in reports]
+
+    # -- observability ---------------------------------------------------
+    def shard_reports(self) -> List[Dict[str, Any]]:
+        """Raw per-shard telemetry (kernel counters, cpu_s, boundary...)."""
+        self._require_started()
+        return self._request_all(("counters",))
+
+    def counters(self) -> Dict[str, float]:
+        """Aggregated counters, ProfileScope-compatible (flat numerics).
+
+        Kernel counters are summed across shards; ``sync.*`` and
+        ``boundary.*`` keys expose the conservative-sync telemetry (null
+        messages == payload-free grants, lookahead stalls == windows that
+        delivered nothing on a shard).
+        """
+        reports = self.shard_reports()
+        out: Dict[str, float] = {}
+        for key in ("events_scheduled", "heap_pushes", "ready_hits",
+                    "relays_avoided", "events_delivered"):
+            out[key] = sum(r["kernel"].get(key, 0) for r in reports)
+        out["sync.shards"] = self.n_shards
+        out["sync.windows"] = self.rounds
+        out["sync.grants"] = self.grants
+        out["sync.null_messages"] = self.null_grants
+        out["sync.lookahead_stalls"] = sum(r["lookahead_stalls"] for r in reports)
+        out["boundary.msgs_out"] = sum(
+            r.get("boundary", {}).get("boundary_msgs_out", 0) for r in reports)
+        out["boundary.bytes_out"] = sum(
+            r.get("boundary", {}).get("boundary_bytes_out", 0) for r in reports)
+        out["boundary.connects"] = sum(
+            r.get("boundary", {}).get("boundary_connects", 0) for r in reports)
+        return out
+
+    def merged_trace(self) -> MergedTrace:
+        """Totally-ordered merge of every shard-local trace (satellite 2)."""
+        self._require_started()
+        return merge_traces(self._request_all(("trace",)))

@@ -4,12 +4,25 @@ Scenario experiments (E12–E15) reproduce the paper's step-by-step figures
 (Figs. 9, 18, 19) by emitting a :class:`TraceRecord` per protocol step and
 then asserting the ordering/latency of the trace.  The recorder is a plain
 append-only log — cheap enough to leave on everywhere.
+
+Sharded runs (E29)
+------------------
+A sharded simulation produces one shard-local trace per kernel process.
+:func:`merge_traces` folds them into a single totally-ordered stream keyed
+``(time, priority, seq, shard)`` — ``seq`` being the record's position in
+its shard-local log, a faithful stand-in for the kernel sequence number
+since records are appended in delivery order.  Consumers that hash a trace
+for determinism checks must use :func:`canonical_trace_hash`, which sorts
+records by *content* at equal timestamps: same-instant records may be
+delivered in different relative order on different shard counts (they live
+in different kernels), but the set of records is invariant.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -86,3 +99,86 @@ class TraceRecorder:
 
     def clear(self) -> None:
         self.records.clear()
+
+
+@dataclass(frozen=True)
+class MergedTraceRecord(TraceRecord):
+    """A trace record annotated with its shard-local merge key."""
+
+    shard: int = 0
+    seq: int = 0
+    priority: int = 1  # NORMAL; records carry no kernel priority today
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return f"{TraceRecord.__str__(self)} [s{self.shard}#{self.seq}]"
+
+
+class MergedTrace(TraceRecorder):
+    """A read-only, totally-ordered view over shard-local traces.
+
+    Subclasses :class:`TraceRecorder` so every consumer using the query
+    helpers (``filter``/``first``/``span``/``kinds``/...) works unchanged
+    on a merged stream.  ``emit`` is disabled — the merge is a snapshot.
+    """
+
+    def __init__(self, records: Iterable[TraceRecord]):
+        super().__init__(enabled=False)
+        self.records = list(records)
+
+    def hash(self) -> str:
+        """Shard-count-invariant content hash (see module docstring)."""
+        return canonical_trace_hash(self.records)
+
+
+def merge_traces(shard_logs: Sequence[Iterable[TraceRecord]]) -> MergedTrace:
+    """Merge per-shard trace logs into one totally-ordered stream.
+
+    The total order is ``(time, priority, seq, shard)``: within one shard,
+    records already appear in kernel delivery order (their log position is
+    the ``seq`` key); across shards, equal-time records are ordered by the
+    shard index as the final deterministic tiebreak.
+    """
+    merged: List[MergedTraceRecord] = []
+    for shard, log in enumerate(shard_logs):
+        for seq, rec in enumerate(log):
+            merged.append(
+                MergedTraceRecord(
+                    time=rec.time, source=rec.source, kind=rec.kind,
+                    detail=rec.detail, shard=shard, seq=seq,
+                    priority=getattr(rec, "priority", 1),
+                )
+            )
+    merged.sort(key=lambda r: (r.time, r.priority, r.seq, r.shard))
+    return MergedTrace(merged)
+
+
+def _canonical_value(value: Any) -> str:
+    """A stable, order-normalized string form for trace detail values."""
+    if isinstance(value, dict):
+        inner = ",".join(
+            f"{_canonical_value(k)}:{_canonical_value(value[k])}"
+            for k in sorted(value, key=str)
+        )
+        return "{" + inner + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_canonical_value(v) for v in value) + "]"
+    if isinstance(value, float):
+        return repr(value)
+    return repr(value)
+
+
+def canonical_trace_hash(records: Iterable[TraceRecord]) -> str:
+    """Content hash of a trace that is invariant to same-time reordering.
+
+    Records are serialized as ``time|source|kind|detail`` lines and sorted
+    before hashing, so two runs producing the *same set* of records — even
+    if equal-timestamp records were delivered in different relative order
+    (the only freedom a sharded run has) — hash identically.  Any change
+    in record content or timing changes the hash.
+    """
+    lines = sorted(
+        f"{rec.time!r}|{rec.source}|{rec.kind}|{_canonical_value(rec.detail)}"
+        for rec in records
+    )
+    digest = hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+    return digest

@@ -7,13 +7,25 @@ from repro.workloads.clients import (
     store_workload,
     user_session_workload,
 )
+from repro.workloads.population import (
+    PopulationProfile,
+    PopulationState,
+    collect_population,
+    generate_arrivals,
+    start_population,
+)
 
 __all__ = [
     "CallRecord",
     "ChaosRunResult",
+    "PopulationProfile",
+    "PopulationState",
     "closed_loop_clients",
+    "collect_population",
+    "generate_arrivals",
     "open_loop_arrivals",
     "run_chaos_workload",
+    "start_population",
     "store_workload",
     "user_session_workload",
 ]

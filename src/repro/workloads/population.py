@@ -1,0 +1,273 @@
+"""Population-scale workload generator (E29).
+
+Scales the E18 "hundreds of users" session mix to tens of thousands by
+separating *who arrives when* from *what a session does*:
+
+* :func:`generate_arrivals` draws an arrival schedule from a single root
+  RNG stream (``population.arrivals``) via thinning against a rate curve
+  — homogeneous Poisson, two-state MMPP, or a diurnal sinusoid — with an
+  optional flash crowd (the E28 shape: a hard rate multiplier plus
+  frantic think times inside the window).
+* each arrival becomes a per-user session FSM on its home region's
+  client host, looking services up in the regional directory, listing
+  users in the regional AUD, and occasionally *roaming* to another
+  region (cross-shard traffic in a sharded run).
+
+Sharding contract: the schedule is computed identically in every shard
+from the same root stream, and each shard spawns only the sessions whose
+home client host it owns.  Every random draw a session makes comes from
+its own ``population.user.<uid>`` stream, so draw sequences are
+shard-count invariant (regression-tested).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional, Tuple
+
+from repro.lang import ACECmdLine
+from repro.core.client import CallError, ServiceClient
+from repro.metrics import LatencyRecorder
+from repro.net import ConnectionClosed, ConnectionRefused
+
+
+@dataclass(frozen=True)
+class PopulationProfile:
+    """Everything that defines a population run.  Picklable on purpose."""
+
+    n_users: int
+    duration: float
+    #: arrival process: "poisson", "mmpp", or "diurnal"
+    process: str = "poisson"
+    #: arrivals land inside [0, arrival_window); None = duration / 2
+    arrival_window: Optional[float] = None
+    # -- MMPP (two-state) ------------------------------------------------
+    mmpp_low: float = 0.4        # relative rate in the quiet state
+    mmpp_high: float = 2.5       # relative rate in the bursty state
+    mmpp_mean_low: float = 8.0   # mean seconds spent quiet
+    mmpp_mean_high: float = 2.0  # mean seconds spent bursty
+    # -- diurnal sinusoid ------------------------------------------------
+    diurnal_amplitude: float = 0.8
+    diurnal_period: Optional[float] = None  # None = arrival window
+    # -- flash crowd (E28 shape) ----------------------------------------
+    flash_at: Optional[float] = None
+    flash_duration: float = 0.0
+    flash_multiplier: float = 7.0
+    flash_think_divisor: float = 10.0
+    # -- session behaviour ----------------------------------------------
+    think_time: float = 1.0
+    roam_fraction: float = 0.1
+
+    def window(self) -> float:
+        return self.arrival_window if self.arrival_window is not None \
+            else self.duration / 2.0
+
+    def in_flash(self, t: float) -> bool:
+        """Is workload-relative time ``t`` inside the flash window?"""
+        return (self.flash_at is not None
+                and self.flash_at <= t < self.flash_at + self.flash_duration)
+
+
+@dataclass
+class PopulationState:
+    """Live bookkeeping for one shard's slice of the population."""
+
+    profile: PopulationProfile
+    t0: float                     # sim time the workload started
+    end_at: float
+    schedule_len: int
+    ops: LatencyRecorder = field(default_factory=LatencyRecorder)
+    sessions_spawned: int = 0
+    sessions_started: int = 0
+    sessions_finished: int = 0
+    errors: int = 0
+    roams: int = 0
+
+
+def _mmpp_trajectory(rng, profile: PopulationProfile,
+                     window: float) -> List[Tuple[float, float]]:
+    """[(start_time, relative_rate), ...] covering [0, window]."""
+    segments: List[Tuple[float, float]] = []
+    t, high = 0.0, False
+    while t < window:
+        rate = profile.mmpp_high if high else profile.mmpp_low
+        segments.append((t, rate))
+        hold = rng.expovariate(
+            1.0 / (profile.mmpp_mean_high if high else profile.mmpp_mean_low)
+        )
+        t += hold
+        high = not high
+    return segments
+
+
+def generate_arrivals(rng_registry,
+                      profile: PopulationProfile) -> List[Tuple[float, int]]:
+    """Draw the arrival schedule ``[(t, uid), ...]`` for a profile.
+
+    Deterministic in ``(seed, profile)``: every draw comes from the
+    ``population.arrivals`` stream in a fixed order, so all shards of a
+    sharded run compute the identical schedule.  Times are relative to
+    the workload start.
+    """
+    rng = rng_registry.py("population.arrivals")
+    window = profile.window()
+    if window <= 0 or profile.n_users <= 0:
+        return []
+
+    if profile.process == "mmpp":
+        segments = _mmpp_trajectory(rng, profile, window)
+
+        def shape(t: float) -> float:
+            rate = segments[0][1]
+            for start, seg_rate in segments:
+                if start > t:
+                    break
+                rate = seg_rate
+            return rate
+    elif profile.process == "diurnal":
+        period = profile.diurnal_period or window
+
+        def shape(t: float) -> float:
+            phase = 2.0 * math.pi * (t / period - 0.25)
+            return max(0.0, 1.0 + profile.diurnal_amplitude * math.sin(phase))
+    elif profile.process == "poisson":
+        def shape(t: float) -> float:
+            return 1.0
+    else:
+        raise ValueError(f"unknown arrival process {profile.process!r}")
+
+    def intensity(t: float) -> float:
+        value = shape(t)
+        if profile.in_flash(t):
+            value *= profile.flash_multiplier
+        return value
+
+    # Normalize so the expected arrival count over the window is n_users,
+    # then thin against the peak.  The grid is deterministic; flash edges
+    # are included so the peak is never underestimated.
+    grid = [window * i / 1024.0 for i in range(1025)]
+    if profile.flash_at is not None:
+        grid.extend([profile.flash_at,
+                     min(window, profile.flash_at + profile.flash_duration / 2)])
+    values = [intensity(t) for t in grid]
+    mean_shape = sum(values) / len(values)
+    peak = max(values)
+    if mean_shape <= 0 or peak <= 0:
+        return []
+    lam0 = profile.n_users / (window * mean_shape)
+    lam_max = lam0 * peak
+
+    schedule: List[Tuple[float, int]] = []
+    t, uid = 0.0, 0
+    while uid < profile.n_users:
+        t += rng.expovariate(lam_max)
+        if t >= window:
+            break
+        if rng.random() * lam_max <= lam0 * intensity(t):
+            schedule.append((t, uid))
+            uid += 1
+    return schedule
+
+
+def _home_pattern(n_regions: int) -> List[int]:
+    """User -> home-region assignment cycle.
+
+    Region 0 is the machine room: it hosts the central services and half
+    the desks of a satellite building, so it gets one slot in the cycle
+    where every other region gets two.  (Also what keeps a sharded run
+    balanced — the central shard trades user load for service load.)
+    """
+    if n_regions == 1:
+        return [0]
+    return [0] + 2 * list(range(1, n_regions))
+
+
+def home_region(uid: int, n_regions: int) -> int:
+    """Deterministic home region for a user id (shard-count invariant)."""
+    pattern = _home_pattern(n_regions)
+    return pattern[uid % len(pattern)]
+
+
+def _session(env, state: PopulationState, uid: int, region,
+             start_at: float, end_at: float) -> Generator:
+    sim = env.sim
+    profile = state.profile
+    regions = env.campus_regions
+    yield sim.timeout(max(0.0, start_at - sim.now))
+    rng = env.rng.py(f"population.user.{uid}")
+    host = env.net.host(region.client_host)
+    client = ServiceClient(env.ctx, host, principal=f"pop-{uid}")
+    state.sessions_started += 1
+    while sim.now < end_at:
+        asd = region.asd
+        if len(regions) > 1 and rng.random() < profile.roam_fraction:
+            target = regions[rng.randrange(len(regions))]
+            if target.index != region.index:
+                asd = target.asd
+                state.roams += 1
+        t0 = sim.now
+        try:
+            yield from client.call_once(asd, ACECmdLine("lookup", cls="HRM"))
+            yield from client.call_once(region.aud, ACECmdLine("listUsers"))
+        except (CallError, ConnectionClosed, ConnectionRefused):
+            state.errors += 1
+            yield sim.timeout(0.5)
+            continue
+        state.ops.record(sim.now - t0)
+        think = profile.think_time
+        if profile.in_flash(sim.now - state.t0):
+            think /= profile.flash_think_divisor
+        yield sim.timeout(rng.expovariate(1.0 / think) if think > 0 else 0)
+    state.sessions_finished += 1
+
+
+def start_population(env, shard, *, profile: PopulationProfile) -> int:
+    """Spawn this shard's slice of the population; returns sessions spawned.
+
+    Usable directly on a plain environment (``shard=None`` spawns every
+    session) or as a :meth:`ShardedSimulator.spawn` function.  Attaches a
+    :class:`PopulationState` as ``env.population`` for later collection.
+    The caller is responsible for running the simulation past
+    ``profile.duration``.
+    """
+    regions = getattr(env, "campus_regions", None)
+    if not regions:
+        raise ValueError("environment has no campus_regions "
+                         "(build it with repro.env.build_campus)")
+    schedule = generate_arrivals(env.rng, profile)
+    t0 = env.sim.now
+    state = PopulationState(
+        profile=profile, t0=t0, end_at=t0 + profile.duration,
+        schedule_len=len(schedule),
+    )
+    env.population = state
+    for t, uid in schedule:
+        region = regions[home_region(uid, len(regions))]
+        if shard is not None and not shard.owns(region.client_host):
+            continue
+        env.sim.process(
+            _session(env, state, uid, region, t0 + t, state.end_at),
+            name=f"pop-{uid}",
+        )
+        state.sessions_spawned += 1
+    return state.sessions_spawned
+
+
+def collect_population(env, shard=None) -> dict:
+    """Gather one shard's population results as a picklable dict."""
+    state = getattr(env, "population", None)
+    if state is None:
+        return {"ops": 0, "sessions_spawned": 0, "sessions_started": 0,
+                "sessions_finished": 0, "errors": 0, "roams": 0,
+                "schedule_len": 0, "samples": []}
+    return {
+        "ops": len(state.ops),
+        "sessions_spawned": state.sessions_spawned,
+        "sessions_started": state.sessions_started,
+        "sessions_finished": state.sessions_finished,
+        "errors": state.errors,
+        "roams": state.roams,
+        "schedule_len": state.schedule_len,
+        "samples": list(state.ops.samples),
+    }

@@ -1,0 +1,113 @@
+"""Trace merging for sharded runs: total order, canonical hashing.
+
+The merged stream must be a faithful total order over shard-local logs
+(``(time, priority, seq, shard)``), and the canonical hash must be
+invariant to the one freedom a sharded run has — same-timestamp records
+delivered in different relative order — while catching any change in
+record *content* or timing.
+"""
+
+from repro.sim.trace import (
+    MergedTrace,
+    MergedTraceRecord,
+    TraceRecord,
+    TraceRecorder,
+    canonical_trace_hash,
+    merge_traces,
+    _canonical_value,
+)
+
+
+def _rec(time, source="s", kind="k", **detail):
+    return TraceRecord(time, source, kind, detail)
+
+
+class TestMergeOrder:
+    def test_time_orders_across_shards(self):
+        merged = merge_traces([
+            [_rec(2.0, kind="b"), _rec(5.0, kind="d")],
+            [_rec(1.0, kind="a"), _rec(3.0, kind="c")],
+        ])
+        assert [r.kind for r in merged] == ["a", "b", "c", "d"]
+
+    def test_equal_time_orders_by_seq_then_shard(self):
+        # seq (shard-local log position) beats shard index at equal time:
+        # a record appended *earlier* in its own kernel sorts first.
+        merged = merge_traces([
+            [_rec(1.0, kind="s0-first"), _rec(1.0, kind="s0-second")],
+            [_rec(1.0, kind="s1-first")],
+        ])
+        assert [r.kind for r in merged] == ["s0-first", "s1-first", "s0-second"]
+        assert [(r.shard, r.seq) for r in merged] == [(0, 0), (1, 0), (0, 1)]
+
+    def test_merge_annotates_shard_and_seq(self):
+        merged = merge_traces([[_rec(1.0)], [_rec(0.5), _rec(2.0)]])
+        rec = merged.records[0]
+        assert isinstance(rec, MergedTraceRecord)
+        assert (rec.shard, rec.seq) == (1, 0)
+
+    def test_single_log_merge_is_identity(self):
+        log = [_rec(0.1, kind="x"), _rec(0.2, kind="y"), _rec(0.2, kind="z")]
+        merged = merge_traces([log])
+        assert [(r.time, r.kind) for r in merged] == \
+            [(r.time, r.kind) for r in log]
+
+
+class TestMergedTraceQueries:
+    """Consumers written against TraceRecorder work on a merged stream."""
+
+    def test_query_helpers_work_unchanged(self):
+        merged = merge_traces([
+            [_rec(1.0, source="a", kind="start"), _rec(4.0, source="a", kind="end")],
+            [_rec(2.0, source="b", kind="start")],
+        ])
+        assert isinstance(merged, TraceRecorder)
+        assert len(merged.filter(kind="start")) == 2
+        assert merged.filter(kind="start", source="b")[0].time == 2.0
+        assert merged.first("start").source == "a"
+        assert merged.span("start", "end") == 3.0
+        assert merged.kinds() == ["start", "end"]
+        assert [r.kind for r in merged.between(1.5, 4.0)] == ["start"]
+
+    def test_merged_trace_is_a_snapshot(self):
+        merged = MergedTrace([_rec(1.0)])
+        merged.emit(2.0, "s", "late")  # disabled recorder: a no-op
+        assert len(merged) == 1
+
+
+class TestCanonicalHash:
+    def test_same_time_reorder_is_invariant(self):
+        a = [_rec(1.0, kind="x"), _rec(1.0, kind="y")]
+        b = [_rec(1.0, kind="y"), _rec(1.0, kind="x")]
+        assert canonical_trace_hash(a) == canonical_trace_hash(b)
+
+    def test_content_change_changes_hash(self):
+        a = [_rec(1.0, kind="x", n=1)]
+        b = [_rec(1.0, kind="x", n=2)]
+        assert canonical_trace_hash(a) != canonical_trace_hash(b)
+
+    def test_time_change_changes_hash(self):
+        assert canonical_trace_hash([_rec(1.0)]) != \
+            canonical_trace_hash([_rec(1.0 + 1e-12)])
+
+    def test_duplicate_records_are_not_collapsed(self):
+        one = [_rec(1.0, kind="x")]
+        two = [_rec(1.0, kind="x"), _rec(1.0, kind="x")]
+        assert canonical_trace_hash(one) != canonical_trace_hash(two)
+
+    def test_merge_hash_matches_plain_hash(self):
+        logs = [[_rec(1.0, kind="x"), _rec(3.0, kind="z")], [_rec(2.0, kind="y")]]
+        flat = [r for log in logs for r in log]
+        assert merge_traces(logs).hash() == canonical_trace_hash(flat)
+
+
+class TestCanonicalValue:
+    def test_dict_key_order_normalized(self):
+        assert _canonical_value({"b": 1, "a": 2}) == _canonical_value({"a": 2, "b": 1})
+
+    def test_nested_structures(self):
+        assert _canonical_value({"k": [1, (2, 3)]}) == "{'k':[1,[2,3]]}"
+
+    def test_float_repr_is_exact(self):
+        # repr round-trips floats: nearby values never collide
+        assert _canonical_value(0.1 + 0.2) != _canonical_value(0.3)
