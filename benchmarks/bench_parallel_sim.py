@@ -36,7 +36,7 @@ import time
 import pytest
 
 from repro.env import build_campus, campus_shard_map
-from repro.metrics import ResultTable, summarize
+from repro.metrics import ResultTable, cores_available, summarize
 from repro.sim.parallel import ShardedSimulator
 from repro.workloads import (
     PopulationProfile,
@@ -82,8 +82,12 @@ def run_sharded(n_shards: int, profile: PopulationProfile, *,
                 mode: str = "process", with_trace_hash: bool = True) -> dict:
     """One boot + population run at ``n_shards``; returns a report row."""
     shard_map = campus_shard_map(REGIONS, n_shards) if n_shards > 1 else None
+    # Pinned to the lockstep protocol on purpose: this benchmark carries
+    # the E29 baseline (window counts, null-message rates, pinned hash),
+    # which is the A/B control for the E30 demand-sync benchmark.
     sim = ShardedSimulator(BUILDER, n_shards=n_shards,
-                           host_to_shard=shard_map, mode=mode, seed=SEED)
+                           host_to_shard=shard_map, mode=mode, seed=SEED,
+                           sync="lockstep")
     with sim:
         wall0 = time.perf_counter()
         cpu0 = time.process_time()
@@ -177,7 +181,7 @@ def run_sweep() -> dict:
                     "flash_at": SWEEP_PROFILE.flash_at,
                     "flash_duration": SWEEP_PROFILE.flash_duration},
         "regions": REGIONS,
-        "cores_available": os.cpu_count(),
+        "cores_available": cores_available(),
         "shards": rows,
         "agg_speedup": speedup,
     }

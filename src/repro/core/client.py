@@ -419,8 +419,12 @@ class ServiceClient:
         self.host = host
         self.principal = principal
         self.keypair = keypair
-        self._rng = ctx.rng.py(f"client.{host.name}.{principal}")
-        self._retry_rng = ctx.rng.py(f"rpc.{host.name}.{principal}")
+        # RNG streams are created on first draw: registry streams are
+        # keyed (seed, name) so laziness never changes a sequence, and a
+        # population-scale run (one client per user, plain call_once, no
+        # security) never pays two Mersenne states per session.
+        self._rng_cache = None
+        self._retry_rng_cache = None
         #: client-observed resilient-call latency, shared env-wide; traced
         #: calls pin their trace id as the bucket exemplar
         self._m_latency = ctx.obs.metrics.histogram("rpc.latency_s")
@@ -433,6 +437,22 @@ class ServiceClient:
         #: client id minted on first use plus a per-logical-call sequence
         self._stamp_id: Optional[str] = None
         self._stamp_seq = 0
+
+    @property
+    def _rng(self):
+        """The handshake RNG stream (``client.<host>.<principal>``)."""
+        if self._rng_cache is None:
+            self._rng_cache = self.ctx.rng.py(
+                f"client.{self.host.name}.{self.principal}")
+        return self._rng_cache
+
+    @property
+    def _retry_rng(self):
+        """The backoff-jitter RNG stream (``rpc.<host>.<principal>``)."""
+        if self._retry_rng_cache is None:
+            self._retry_rng_cache = self.ctx.rng.py(
+                f"rpc.{self.host.name}.{self.principal}")
+        return self._retry_rng_cache
 
     # ------------------------------------------------------------------
     # Tracing (repro.obs)

@@ -6,7 +6,12 @@ launchers, devices, and users into one runnable object; the scenario
 drivers in :mod:`repro.env.scenarios` replay Chapter 7 on top of it.
 """
 
-from repro.env.campus import CampusRegion, build_campus, campus_shard_map
+from repro.env.campus import (
+    CampusRegion,
+    build_campus,
+    campus_100k_profile,
+    campus_shard_map,
+)
 from repro.env.environment import ACEEnvironment
 from repro.env.users import UserIdentity
 
@@ -15,5 +20,6 @@ __all__ = [
     "CampusRegion",
     "UserIdentity",
     "build_campus",
+    "campus_100k_profile",
     "campus_shard_map",
 ]

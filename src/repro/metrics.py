@@ -2,10 +2,26 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+
+def cores_available() -> int:
+    """Cores this process may actually run on.
+
+    Benchmarks report this next to CPU-based speedups so the reader can
+    judge how much true parallelism the runner had.  ``os.cpu_count()``
+    over-reports on affinity-restricted CI runners (it counts the
+    machine, not the cgroup/affinity mask), so prefer the scheduler's
+    answer where the platform has one.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 @dataclass(frozen=True)

@@ -111,6 +111,7 @@ class BoundaryNetwork(Network):
         self._conn_seq = 0
         self._boundary_conns: Dict[str, BoundaryConnection] = {}
         self._pending_connects: Dict[str, Any] = {}
+        self._lookahead_row: Optional[Dict[int, float]] = None
 
     # ------------------------------------------------------------------
     # Ownership / lookahead
@@ -118,26 +119,74 @@ class BoundaryNetwork(Network):
     def owns(self, host_name: str) -> bool:
         return self.shard.owns(host_name)
 
-    def compute_lookahead(self) -> float:
-        """Minimum owned→foreign path latency: the sync lookahead.
+    def compute_lookahead_row(self) -> Dict[int, float]:
+        """Per-destination-shard lookahead: ``{j: L[self][j]}`` (E30).
 
-        Conservative under gray failure: degraded hosts only *add* latency
-        (multipliers >= 1), and any multiplier below 1 is clamped out so
-        the bound still holds.  Jitter multiplies by ``1 + x`` with
-        ``x >= 0`` and cannot shrink a path either.
+        ``L[i][j]`` is the minimum path latency from any host owned by
+        this shard to any host owned by shard ``j`` — the earliest a
+        message posted here *now* can arrive there.  A shard this one
+        cannot reach (no owned hosts on either side, or ``j`` owns
+        nothing) gets ``inf``: it never bounds ``j``'s time grants.
+
+        Conservative under gray failure: degraded hosts only *add*
+        latency (multipliers >= 1), and any multiplier below 1 is clamped
+        out so the bound still holds.  Jitter multiplies by ``1 + x``
+        with ``x >= 0`` and cannot shrink a path either.
+
+        The row is computed once and cached — topology and segment
+        layout are construction-time facts, and the sync protocol pins
+        its safety argument to the build-time bound (same contract the
+        E29 global lookahead had).
         """
+        if self._lookahead_row is not None:
+            return self._lookahead_row
+        row: Dict[int, float] = {
+            j: float("inf")
+            for j in range(self.shard.n_shards) if j != self.shard.index
+        }
         owned = [h for h in self.hosts.values() if self.owns(h.name)]
-        foreign = [h for h in self.hosts.values() if not self.owns(h.name)]
-        best = float("inf")
-        for a in owned:
-            for b in foreign:
+        for b in self.hosts.values():
+            j = self.shard.shard_of(b.name)
+            if j == self.shard.index:
+                continue
+            best = row[j]
+            for a in owned:
                 base = self.lan_latency
                 if a.segment != b.segment:
                     base += self.backbone_latency
                 base *= min(1.0, a.latency_mult * b.latency_mult)
                 if base < best:
                     best = base
-        return best
+            row[j] = best
+        self._lookahead_row = row
+        return row
+
+    def compute_lookahead(self) -> float:
+        """Minimum owned→foreign path latency: the global sync lookahead.
+
+        The row minimum of :meth:`compute_lookahead_row` — kept as the
+        scalar bound the lockstep protocol (and the zero-lookahead sanity
+        check) uses.
+        """
+        row = self.compute_lookahead_row()
+        return min(row.values(), default=float("inf"))
+
+    def earliest_output_times(self, next_event: float) -> Dict[int, float]:
+        """EOT promises: per destination shard, the earliest timestamp any
+        *future* message from this shard can carry (E30).
+
+        Given that this shard will not execute anything before
+        ``next_event``, a message to shard ``j`` cannot arrive before
+        ``next_event + L[self][j]`` — every send path posts arrival
+        timestamps that include at least one full path latency
+        (see :meth:`post`).  These promises piggyback on shard reports
+        and are what lets the coordinator issue per-shard demand-driven
+        grants instead of one global lockstep window.
+        """
+        return {
+            j: next_event + la
+            for j, la in self.compute_lookahead_row().items()
+        }
 
     # ------------------------------------------------------------------
     # Outbox / inbox plumbing

@@ -115,8 +115,10 @@ def render_control(control: dict) -> str:
 
 
 def run_sharded_demo(seed: int = 29, *, n_shards: int = 2, users: int = 120,
-                     duration: float = 6.0, regions: int = 4) -> dict:
-    """Small sharded campus run (E29, local mode); returns the report dict."""
+                     duration: float = 6.0, regions: int = 4,
+                     sync: Optional[str] = None) -> dict:
+    """Small sharded campus run (E29/E30, local mode); returns the report
+    dict, including the coordinator's :meth:`sync_report`."""
     import functools
 
     from repro.env import build_campus, campus_shard_map
@@ -130,7 +132,8 @@ def run_sharded_demo(seed: int = 29, *, n_shards: int = 2, users: int = 120,
     builder = functools.partial(build_campus, regions=regions, seed=seed)
     shard_map = campus_shard_map(regions, n_shards) if n_shards > 1 else None
     sim = ShardedSimulator(builder, n_shards=n_shards,
-                           host_to_shard=shard_map, mode="local", seed=seed)
+                           host_to_shard=shard_map, mode="local", seed=seed,
+                           sync=sync)
     with sim:
         sim.boot(settle=2.0)
         sim.spawn(start_population, profile=profile)
@@ -145,6 +148,7 @@ def run_sharded_demo(seed: int = 29, *, n_shards: int = 2, users: int = 120,
             "errors": sum(r["errors"] for r in results),
             "counters": sim.counters(),
             "shards": sim.shard_reports(),
+            "sync": sim.sync_report(),
             "merged_trace_sha256": sim.merged_trace().hash(),
         }
 
@@ -153,18 +157,25 @@ def render_sharding(report: dict) -> str:
     """Terminal tables for a :func:`run_sharded_demo` report."""
     from repro.metrics import ResultTable
 
+    sync = report.get("sync", {})
+    protocol = sync.get("protocol", "?")
     table = ResultTable(
-        f"sharded kernel (E29): {report['users']} users / "
+        f"sharded kernel ({protocol} sync): {report['users']} users / "
         f"{report['regions']} regions on {report['n_shards']} shard(s), "
         f"{report['ops']} ops",
-        ["shard", "events", "cpu_s", "windows", "stalls",
-         "boundary_out", "bytes_out", "trace_recs"],
+        ["shard", "events", "cpu_s", "grants", "width_p50", "width_p95",
+         "stalls", "boundary_out", "bytes_out", "trace_recs"],
     )
+    per_shard = sync.get("per_shard", [{}] * len(report["shards"]))
     for i, shard in enumerate(report["shards"]):
         boundary = shard.get("boundary", {})
+        width = per_shard[i].get("window_width", {})
         table.add(
             i, int(shard["kernel"]["events_delivered"]),
-            round(shard["cpu_s"], 3), shard["windows"],
+            round(shard["cpu_s"], 3),
+            per_shard[i].get("grants", shard["windows"]),
+            f"{width.get('p50', 0.0):.4g}s",
+            f"{width.get('p95', 0.0):.4g}s",
             shard["lookahead_stalls"],
             boundary.get("boundary_msgs_out", 0),
             boundary.get("boundary_bytes_out", 0),
@@ -173,7 +184,8 @@ def render_sharding(report: dict) -> str:
     counters = report["counters"]
     totals = "  ".join(
         f"{key}={int(counters[key])}"
-        for key in ("events_delivered", "sync.windows", "sync.null_messages",
+        for key in ("events_delivered", "sync.rounds", "sync.grants",
+                    "sync.null_messages", "sync.payload_free_grants",
                     "sync.lookahead_stalls", "boundary.msgs_out")
         if key in counters
     )
@@ -213,9 +225,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="enable the E28 autoscaler and show its rules, "
                              "recent decisions, and cooldown state")
     parser.add_argument("--shards", type=int, default=0, metavar="N",
-                        help="run the E29 sharded-campus demo on N kernel "
-                             "shards instead of the telemetry demo, and "
-                             "show per-shard sync/boundary counters")
+                        help="run the sharded-campus demo (E29/E30) on N "
+                             "kernel shards instead of the telemetry demo, "
+                             "and show per-shard sync/boundary counters")
+    parser.add_argument("--sync", choices=("demand", "lockstep"),
+                        help="sync protocol for --shards (default: demand, "
+                             "or lockstep when ACE_SYNC_LOCKSTEP=1)")
     parser.add_argument("--json", metavar="PATH",
                         help="also write the snapshot as JSON")
     args = parser.parse_args(argv)
@@ -224,7 +239,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         import json as _json
 
         report = run_sharded_demo(args.seed, n_shards=args.shards,
-                                  duration=args.duration)
+                                  duration=args.duration, sync=args.sync)
         print(render_sharding(report))
         if args.json:
             with open(args.json, "w") as fh:

@@ -35,6 +35,10 @@ class ShardContext:
     host_to_shard: Optional[Callable[[str], int]] = None
     seed: int = 0
     shard_rng: RngRegistry = field(init=False, repr=False)
+    #: memoized host -> shard results; ownership is asked per message on
+    #: the boundary fast path and per session at population spawn, so the
+    #: user map is consulted once per host, not once per call
+    _shard_cache: dict = field(init=False, repr=False, default_factory=dict)
 
     def __post_init__(self) -> None:
         if not 0 <= self.index < self.n_shards:
@@ -44,15 +48,18 @@ class ShardContext:
         self.shard_rng = RngRegistry(self.seed).fork(f"shard:{self.index}")
 
     def shard_of(self, host_name: str) -> int:
-        """The shard that owns ``host_name``."""
+        """The shard that owns ``host_name`` (memoized)."""
         if self.n_shards == 1 or self.host_to_shard is None:
             return 0
-        shard = int(self.host_to_shard(host_name))
-        if not 0 <= shard < self.n_shards:
-            raise SimulationError(
-                f"host {host_name!r} mapped to shard {shard}, "
-                f"but only {self.n_shards} shards exist"
-            )
+        shard = self._shard_cache.get(host_name)
+        if shard is None:
+            shard = int(self.host_to_shard(host_name))
+            if not 0 <= shard < self.n_shards:
+                raise SimulationError(
+                    f"host {host_name!r} mapped to shard {shard}, "
+                    f"but only {self.n_shards} shards exist"
+                )
+            self._shard_cache[host_name] = shard
         return shard
 
     def owns(self, host_name: str) -> bool:

@@ -34,6 +34,21 @@ from repro.net.boundary import BoundaryNetwork
 from repro.sim.parallel.context import ShardContext
 
 
+def _maxrss_kb() -> int:
+    """Peak RSS of this shard process in KiB (0 where unsupported).
+
+    Linux reports ``ru_maxrss`` in KiB, macOS in bytes — normalized here
+    so the 100k-user memory telemetry reads the same everywhere.
+    """
+    try:
+        import resource
+        import sys
+        rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return int(rss // 1024) if sys.platform == "darwin" else int(rss)
+    except Exception:  # pragma: no cover - non-POSIX
+        return 0
+
+
 class ShardServer:
     """Owns one environment + kernel and executes coordinator requests."""
 
@@ -51,28 +66,43 @@ class ShardServer:
     def handle(self, msg: Tuple[Any, ...]) -> Any:
         return getattr(self, f"_do_{msg[0]}")(*msg[1:])
 
+    def _eot(self, next_event: float) -> Dict[int, float]:
+        """The EOT promise vector piggybacked on every reply carrying a
+        next-event time (empty on single-kernel fabrics)."""
+        net = self.env.net
+        if isinstance(net, BoundaryNetwork):
+            return net.earliest_output_times(next_event)
+        return {}
+
     # -- verbs ----------------------------------------------------------
     def _do_build(self) -> Dict[str, Any]:
         self.env = self.builder(self.ctx)
         sim, net = self.env.sim, self.env.net
         lookahead = float("inf")
+        lookahead_row: Dict[int, float] = {}
         if isinstance(net, BoundaryNetwork):
+            lookahead_row = net.compute_lookahead_row()
             lookahead = net.compute_lookahead()
         owned = sum(1 for name in net.hosts if self.ctx.owns(name))
+        nxt = sim.peek()
         return {
             "lookahead": lookahead,
-            "next": sim.peek(),
+            "lookahead_row": lookahead_row,
+            "next": nxt,
+            "eot": self._eot(nxt),
             "hosts_owned": owned,
             "hosts_total": len(net.hosts),
         }
 
     def _do_boot(self, settle: float) -> Dict[str, Any]:
         self.env.sim.process(self.env.boot_async(settle), name="boot")
-        return {"next": self.env.sim.peek()}
+        nxt = self.env.sim.peek()
+        return {"next": nxt, "eot": self._eot(nxt)}
 
     def _do_spawn(self, fn: Callable, args: tuple, kwargs: dict) -> Dict[str, Any]:
         result = fn(self.env, self.ctx, *args, **kwargs)
-        return {"next": self.env.sim.peek(), "result": result}
+        nxt = self.env.sim.peek()
+        return {"next": nxt, "eot": self._eot(nxt), "result": result}
 
     def _do_peek(self) -> Dict[str, Any]:
         return {"next": self.env.sim.peek(), "now": self.env.sim.now}
@@ -86,8 +116,10 @@ class ShardServer:
         if delivered == 0:
             self.lookahead_stalls += 1
         outbox = net.drain_outbox() if isinstance(net, BoundaryNetwork) else {}
+        nxt = self.env.sim.peek()
         return {
-            "next": self.env.sim.peek(),
+            "next": nxt,
+            "eot": self._eot(nxt),
             "now": self.env.sim.now,
             "outbox": outbox,
             "delivered": delivered,
@@ -96,7 +128,8 @@ class ShardServer:
     def _do_advance(self, until: float) -> Dict[str, Any]:
         if until > self.env.sim.now:
             self.env.sim.run(until=until)
-        return {"next": self.env.sim.peek(), "now": self.env.sim.now}
+        nxt = self.env.sim.peek()
+        return {"next": nxt, "eot": self._eot(nxt), "now": self.env.sim.now}
 
     def _do_collect(self, fn: Callable, args: tuple, kwargs: dict) -> Dict[str, Any]:
         return {"result": fn(self.env, self.ctx, *args, **kwargs)}
@@ -107,6 +140,7 @@ class ShardServer:
             "kernel": dict(sim.counters()),
             "now": sim.now,
             "cpu_s": time.process_time(),
+            "maxrss_kb": _maxrss_kb(),
             "windows": self.windows,
             "lookahead_stalls": self.lookahead_stalls,
             "trace_records": len(self.env.trace.records),

@@ -1,27 +1,54 @@
-"""Coordinator for the sharded multi-process simulation kernel (E29).
+"""Coordinator for the sharded multi-process simulation kernel (E29/E30).
 
 :class:`ShardedSimulator` partitions a simulated network across kernel
 shards — OS processes in ``mode="process"``, in-process servers in
 ``mode="local"`` (same code path, handy for tests) — and keeps them
-conservatively synchronized with a *time-grant window* protocol:
+conservatively synchronized.  Two sync protocols are built in, selected
+by the ``sync=`` kwarg (default) or ``ACE_SYNC_LOCKSTEP=1`` (the A/B
+control, mirroring the ``ACE_KERNEL_FASTPATH`` pattern):
 
-1. Every shard reports its next event time; together with the timestamps
-   of boundary messages still held by the coordinator this gives the
-   global next-event time ``T``.
-2. The coordinator grants the window ``W = min(T + lookahead,
-   nextafter(until))`` to all shards in one round: each shard receives its
-   pending boundary messages, processes every event strictly before ``W``
-   (:meth:`~repro.sim.kernel.Simulator.run_window`), drains its outbox,
-   and reports its new next-event time.
-3. Repeat until the horizon is reached, then a final ``advance`` round
-   snaps every shard clock to ``until`` exactly like ``Simulator.run``.
+``sync="demand"`` (default, E30)
+    Per-shard, demand-driven grants.  The coordinator assembles a
+    **per-pair lookahead matrix** ``L[i][j]`` at build time (min latency
+    from shard-*i*-owned hosts to shard-*j*-owned hosts,
+    :meth:`~repro.net.boundary.BoundaryNetwork.compute_lookahead_row`);
+    shard reports piggyback **earliest-output-time promises** per
+    destination shard.  From ``(next_i, held-message floors, L)`` the
+    coordinator solves the classic LBTS fixed point
 
-Safety: the lookahead is the minimum cross-shard link latency
-(:meth:`~repro.net.boundary.BoundaryNetwork.compute_lookahead`), so a
-message sent at ``t >= T`` arrives at ``t' >= T + lookahead >= W`` — never
-inside the window being processed.  A grant that moves no events forward
-on a shard is that shard's *null message* in classic CMB terms; both are
-counted and surfaced through :meth:`counters`.
+        ``E_j = min(wake_j, min_{k != j}(E_k + L[k][j]))``
+
+    (``wake_j`` = the earliest time shard *j* could execute anything;
+    frozen at the dispatch floor while *j* is mid-window) and issues
+
+        ``grant_i = min_{j != i} min(EOT_j[i], E_j + L[j][i])``
+
+    A shard is dispatched **only when it has demand** — an event or a
+    pending boundary message strictly inside its grant — so every grant
+    delivers at least one event and the classic CMB *null message* (a
+    pure-overhead sync message that moves no simulation work) is
+    structurally eliminated.  Grants are asynchronous: replies are
+    collected with wait-any, so one slow shard no longer barriers the
+    rest, and a shard whose horizon advanced is re-dispatched
+    immediately.  Boundary messages are batched per (dispatch,
+    destination shard).  Windows widen automatically to the full safe
+    horizon — when peers are quiescent far into the future the fixed
+    point pushes ``grant_i`` out accordingly, which is what the lockstep
+    protocol's fixed ``T + lookahead`` window never could.
+
+``sync="lockstep"`` (E29, the control)
+    Synchronous send-all/recv-all rounds over one global window
+    ``W = min(T + global_lookahead, nextafter(until))`` — kept verbatim
+    for A/B benchmarking and trace-equivalence regression.
+
+Safety (both modes): a message posted at local time ``t`` by shard ``j``
+arrives at shard ``i`` no earlier than ``t + L[j][i]`` (every send path
+computes arrival timestamps that include one full path latency — see
+:mod:`repro.net.boundary`).  Since shard ``j`` executes nothing before
+``E_j``, no message can land in shard ``i`` before ``grant_i`` — so
+processing ``[now, grant_i)`` is safe, and the merged trace is
+bit-identical between the two protocols at every shard count
+(regression-tested and CI-guarded via ``BENCH_E30.json``).
 
 With one shard the coordinator degenerates to a single window per
 ``run()`` over the unmodified kernel — bit-identical to ``Simulator.run``
@@ -32,13 +59,26 @@ from __future__ import annotations
 
 import math
 import multiprocessing
-import time
+import os
+from multiprocessing import connection as _mpconn
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.obs.registry import Histogram
 from repro.sim.kernel import SimulationError
 from repro.sim.parallel.context import ShardContext
 from repro.sim.parallel.runtime import ShardServer, shard_process_main
 from repro.sim.trace import MergedTrace, merge_traces
+
+_INF = float("inf")
+
+#: bucket bounds for the granted-window-width histograms (seconds).
+#: Demand-driven grants legitimately span microseconds (tight cross-shard
+#: chatter) to whole simulated seconds (quiescent peers), so the buckets
+#: run wider than the latency defaults.
+WINDOW_WIDTH_BUCKETS: Tuple[float, ...] = (
+    1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
 
 
 class _LocalHandle:
@@ -118,6 +158,11 @@ class ShardedSimulator:
         ``"process"`` (default) or ``"local"`` (in-process, for tests).
     seed:
         Forwarded to every :class:`ShardContext` (shard-local RNG forks).
+    sync:
+        ``"demand"`` (per-shard EOT grants, the default) or
+        ``"lockstep"`` (the E29 global-window rounds).  ``None`` reads
+        ``ACE_SYNC_LOCKSTEP`` from the environment: ``1`` selects
+        lockstep, anything else demand.
 
     Duck-types the slice of :class:`~repro.sim.kernel.Simulator` that
     :class:`~repro.obs.profiling.ProfileScope` consumes (``now``,
@@ -128,30 +173,48 @@ class ShardedSimulator:
                  n_shards: int = 1,
                  host_to_shard: Optional[Callable[[str], int]] = None,
                  mode: str = "process",
-                 seed: int = 0):
+                 seed: int = 0,
+                 sync: Optional[str] = None):
         if n_shards < 1:
             raise SimulationError(f"n_shards must be >= 1, got {n_shards}")
         if n_shards > 1 and host_to_shard is None:
             raise SimulationError("n_shards > 1 requires a host_to_shard map")
         if mode not in ("process", "local"):
             raise SimulationError(f"unknown shard mode {mode!r}")
+        if sync is None:
+            sync = ("lockstep"
+                    if os.environ.get("ACE_SYNC_LOCKSTEP", "0") == "1"
+                    else "demand")
+        if sync not in ("demand", "lockstep"):
+            raise SimulationError(f"unknown sync protocol {sync!r}")
         self.builder = builder
         self.n_shards = n_shards
         self.host_to_shard = host_to_shard
         self.mode = mode
         self.seed = seed
-        self.lookahead = float("inf")
-        self.rounds = 0          # window rounds completed
-        self.grants = 0          # window grants sent (rounds * shards)
-        self.null_grants = 0     # grants carrying no boundary payload
+        self.sync = sync
+        self.lookahead = _INF
+        #: per-pair lookahead matrix, ``L[i][j]`` = min latency i -> j
+        self.lookahead_matrix: List[Dict[int, float]] = []
+        self.rounds = 0          # scheduler passes (lockstep: window rounds)
+        self.grants = 0          # window grants dispatched
+        self.null_grants = 0     # grants that moved no simulation work
+        self.payload_free_grants = 0  # grants carrying no boundary payload
         self._now = 0.0
         self._handles: List[Any] = []
         self._next: List[float] = []
+        #: latest EOT promise vector per shard, ``{dst: ts}``
+        self._eot: List[Dict[int, float]] = []
         #: boundary messages awaiting relay, dst shard -> [msg, ...]
         self._held: Dict[int, List[tuple]] = {}
         self._started = False
         self._closed = False
         self._build_info: List[Dict[str, Any]] = []
+        #: per-shard grant counts and granted-window-width histograms
+        self._grants_per_shard: List[int] = [0] * n_shards
+        self._width_hists: List[Histogram] = [
+            Histogram(WINDOW_WIDTH_BUCKETS) for _ in range(n_shards)
+        ]
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> "ShardedSimulator":
@@ -167,6 +230,11 @@ class ShardedSimulator:
         infos = self._request_all(("build",))
         self._build_info = infos
         self._next = [info["next"] for info in infos]
+        self._eot = [dict(info.get("eot") or {}) for info in infos]
+        self.lookahead_matrix = [
+            {int(j): float(v) for j, v in (info.get("lookahead_row") or {}).items()}
+            for info in infos
+        ]
         self.lookahead = min(info["lookahead"] for info in infos)
         if self.n_shards > 1:
             if self.lookahead <= 0.0:
@@ -229,17 +297,22 @@ class ShardedSimulator:
                 raise SimulationError(f"shard {i} died mid-run ({exc!r})") from None
         out: List[Any] = []
         for i, handle in enumerate(self._handles):
-            try:
-                reply = handle.recv()
-            except (EOFError, OSError) as exc:
-                self._abort()
-                raise SimulationError(f"shard {i} died mid-run ({exc!r})") from None
-            if not reply or reply[0] != "ok":
-                detail = reply[1] if reply else "no reply"
-                self._abort()
-                raise SimulationError(f"shard {i} failed:\n{detail}")
-            out.append(reply[1])
+            out.append(self._recv_checked(i))
         return out
+
+    def _recv_checked(self, i: int) -> Any:
+        """Receive one reply from shard ``i``, turning failures into
+        :class:`SimulationError` (and reaping every shard)."""
+        try:
+            reply = self._handles[i].recv()
+        except (EOFError, OSError) as exc:
+            self._abort()
+            raise SimulationError(f"shard {i} died mid-run ({exc!r})") from None
+        if not reply or reply[0] != "ok":
+            detail = reply[1] if reply else "no reply"
+            self._abort()
+            raise SimulationError(f"shard {i} failed:\n{detail}")
+        return reply[1]
 
     def _require_started(self) -> None:
         if not self._started:
@@ -268,6 +341,32 @@ class ShardedSimulator:
                 f"cannot run backwards: until={until} < now={self._now}"
             )
         upper = math.nextafter(until, math.inf)
+        if self.sync == "lockstep":
+            delivered = self._run_lockstep(until, upper)
+        else:
+            delivered = self._run_demand(until, upper)
+        finals = self._request_all(("advance", until))
+        for i, f in enumerate(finals):
+            self._next[i] = f["next"]
+            self._eot[i] = dict(f.get("eot") or {})
+        self._now = until
+        return delivered
+
+    def _held_min(self, i: int) -> float:
+        """Earliest timestamp among boundary messages held for shard ``i``."""
+        msgs = self._held.get(i)
+        if not msgs:
+            return _INF
+        return min(m[1] for m in msgs)
+
+    # -- lockstep (E29, the A/B control) --------------------------------
+    def _run_lockstep(self, until: float, upper: float) -> int:
+        """Global-window rounds, kept verbatim from E29.
+
+        ``null_grants`` here keeps the E29 accounting — a grant carrying
+        no boundary payload — which is exactly the blind-broadcast cost
+        the demand protocol eliminates.
+        """
         delivered = 0
         while True:
             horizon = min(self._next)
@@ -285,19 +384,152 @@ class ShardedSimulator:
                 inbox = self._held.pop(i, [])
                 if not inbox:
                     self.null_grants += 1
+                    self.payload_free_grants += 1
                 per_shard.append(("window", window, inbox))
+                self._grants_per_shard[i] += 1
+                self._width_hists[i].observe(window - horizon)
             self.grants += self.n_shards
             reports = self._request_all(None, per_shard)
             self.rounds += 1
             for i, rep in enumerate(reports):
                 self._next[i] = rep["next"]
+                self._eot[i] = dict(rep.get("eot") or {})
                 delivered += rep["delivered"]
                 for dst, msgs in rep["outbox"].items():
                     self._held.setdefault(int(dst), []).extend(msgs)
-        finals = self._request_all(("advance", until))
-        self._next = [f["next"] for f in finals]
-        self._now = until
         return delivered
+
+    # -- demand-driven (E30) --------------------------------------------
+    def _compute_grants(self, busy: Dict[int, tuple], upper: float) -> List[float]:
+        """Per-shard safe horizons from the EOT/lookahead fixed point.
+
+        ``E[j]`` lower-bounds every future *execution* (hence every future
+        send-decision) of shard ``j``: its own wake time — ``min(next_j,
+        earliest held message)``, frozen at the dispatch floor while the
+        shard is mid-window — relaxed by the earliest timestamp a message
+        from any peer could wake it at.  With every ``L[k][j] > 0``
+        (enforced at :meth:`start`) the relaxation converges in at most
+        ``n_shards`` passes: a cycle only adds positive latency.
+        """
+        n = self.n_shards
+        E: List[float] = []
+        for j in range(n):
+            if j in busy:
+                E.append(busy[j][0])  # frozen dispatch floor
+            else:
+                E.append(min(self._next[j], self._held_min(j)))
+        for _ in range(n):
+            changed = False
+            for j in range(n):
+                if j in busy:
+                    continue  # the floor already bounds the open window
+                best = min(self._next[j], self._held_min(j))
+                for k in range(n):
+                    if k == j:
+                        continue
+                    cand = E[k] + self.lookahead_matrix[k].get(j, _INF)
+                    if cand < best:
+                        best = cand
+                if best < E[j]:
+                    E[j] = best
+                    changed = True
+            if not changed:
+                break
+        grants: List[float] = []
+        for i in range(n):
+            g = upper
+            for j in range(n):
+                if j == i:
+                    continue
+                bound = min(self._eot[j].get(i, _INF),
+                            E[j] + self.lookahead_matrix[j].get(i, _INF))
+                if bound < g:
+                    g = bound
+            grants.append(g)
+        return grants
+
+    def _run_demand(self, until: float, upper: float) -> int:
+        """Asynchronous demand-driven grant loop (the E30 tentpole).
+
+        Each scheduler pass dispatches every idle shard whose wake time —
+        an event or a held boundary message — falls strictly inside its
+        grant, then waits for *at least one* reply (wait-any in process
+        mode), folds the replies in, and recomputes.  Dispatch-on-demand
+        means every grant delivers at least one event, so ``null_grants``
+        (grants that moved no work) stays at zero by construction; it is
+        still counted, as the honest regression signal the E30 benchmark
+        guards.
+        """
+        delivered = 0
+        #: shard -> (dispatch floor, had_payload) for in-flight windows
+        busy: Dict[int, Tuple[float, bool]] = {}
+        while True:
+            grants = self._compute_grants(busy, upper)
+            for i in range(self.n_shards):
+                if i in busy:
+                    continue
+                wake = min(self._next[i], self._held_min(i))
+                if wake > until:
+                    continue
+                g = grants[i]
+                if wake >= g:
+                    continue  # no executable demand inside the safe window
+                inbox = self._held.pop(i, [])
+                try:
+                    self._handles[i].send(("window", g, inbox))
+                except (OSError, ValueError) as exc:
+                    self._abort()
+                    raise SimulationError(
+                        f"shard {i} died mid-run ({exc!r})") from None
+                busy[i] = (wake, bool(inbox))
+                self.grants += 1
+                self._grants_per_shard[i] += 1
+                if not inbox:
+                    self.payload_free_grants += 1
+                self._width_hists[i].observe(g - wake)
+            if not busy:
+                pending = [i for i in range(self.n_shards)
+                           if min(self._next[i], self._held_min(i)) <= until]
+                if not pending:
+                    break
+                # Unreachable by the progress argument (the module
+                # docstring): the earliest-wake shard always receives a
+                # grant strictly beyond its wake time.  Fail loudly
+                # rather than spin if the invariant is ever broken.
+                raise SimulationError(
+                    f"conservative sync stalled: shards {pending} have work "
+                    f"before t={until} but no grant advances them"
+                )
+            self.rounds += 1
+            for i, rep in self._collect_ready(busy):
+                floor, had_payload = busy.pop(i)
+                self._next[i] = rep["next"]
+                self._eot[i] = dict(rep.get("eot") or {})
+                delivered += rep["delivered"]
+                if rep["delivered"] == 0 and not had_payload:
+                    self.null_grants += 1
+                for dst, msgs in rep["outbox"].items():
+                    self._held.setdefault(int(dst), []).extend(msgs)
+        return delivered
+
+    def _collect_ready(self, busy: Dict[int, Any]) -> List[Tuple[int, Any]]:
+        """Replies from at least one busy shard (all of them in local mode,
+        whichever pipes are readable in process mode)."""
+        out: List[Tuple[int, Any]] = []
+        if self.mode == "process":
+            conns = {self._handles[i].conn: i for i in busy}
+            try:
+                ready = _mpconn.wait(list(conns))
+            except OSError as exc:
+                self._abort()
+                raise SimulationError(f"shard pipe failed ({exc!r})") from None
+            for conn in ready:
+                i = conns[conn]
+                out.append((i, self._recv_checked(i)))
+        else:
+            for i in list(busy):
+                out.append((i, self._recv_checked(i)))
+        return out
 
     def run_for(self, duration: float) -> int:
         """Advance by ``duration`` simulated seconds from the current time."""
@@ -313,7 +545,9 @@ class ShardedSimulator:
         """
         self._require_started()
         reports = self._request_all(("boot", float(settle)))
-        self._next = [r["next"] for r in reports]
+        for i, r in enumerate(reports):
+            self._next[i] = r["next"]
+            self._eot[i] = dict(r.get("eot") or {})
         self.run(self._now + 2.5 * float(settle) + 1.0)
         return self
 
@@ -326,7 +560,9 @@ class ShardedSimulator:
         """
         self._require_started()
         reports = self._request_all(("spawn", fn, tuple(args), dict(kwargs)))
-        self._next = [r["next"] for r in reports]
+        for i, r in enumerate(reports):
+            self._next[i] = r["next"]
+            self._eot[i] = dict(r.get("eot") or {})
         return [r["result"] for r in reports]
 
     def collect(self, fn: Callable, *args: Any, **kwargs: Any) -> List[Any]:
@@ -344,10 +580,18 @@ class ShardedSimulator:
     def counters(self) -> Dict[str, float]:
         """Aggregated counters, ProfileScope-compatible (flat numerics).
 
-        Kernel counters are summed across shards; ``sync.*`` and
-        ``boundary.*`` keys expose the conservative-sync telemetry (null
-        messages == payload-free grants, lookahead stalls == windows that
-        delivered nothing on a shard).
+        Kernel counters are summed across shards.  ``sync.*`` telemetry:
+
+        * ``sync.rounds`` — scheduler passes (lockstep: window rounds);
+          ``sync.windows`` is kept as a compatibility alias.
+        * ``sync.grants`` — window grants dispatched.  Lockstep sends one
+          per shard per round; demand mode only dispatches shards with
+          executable demand, so the two are no longer conflated.
+        * ``sync.null_messages`` — grants that moved no simulation work:
+          payload-free broadcasts under lockstep (the E29 accounting),
+          delivered-nothing dispatches under demand (structurally ~0).
+        * ``sync.payload_free_grants`` — grants carrying no boundary
+          payload, reported under both protocols for transparency.
         """
         reports = self.shard_reports()
         out: Dict[str, float] = {}
@@ -355,9 +599,12 @@ class ShardedSimulator:
                     "relays_avoided", "events_delivered"):
             out[key] = sum(r["kernel"].get(key, 0) for r in reports)
         out["sync.shards"] = self.n_shards
+        out["sync.demand"] = 0.0 if self.sync == "lockstep" else 1.0
+        out["sync.rounds"] = self.rounds
         out["sync.windows"] = self.rounds
         out["sync.grants"] = self.grants
         out["sync.null_messages"] = self.null_grants
+        out["sync.payload_free_grants"] = self.payload_free_grants
         out["sync.lookahead_stalls"] = sum(r["lookahead_stalls"] for r in reports)
         out["boundary.msgs_out"] = sum(
             r.get("boundary", {}).get("boundary_msgs_out", 0) for r in reports)
@@ -366,6 +613,25 @@ class ShardedSimulator:
         out["boundary.connects"] = sum(
             r.get("boundary", {}).get("boundary_connects", 0) for r in reports)
         return out
+
+    def sync_report(self) -> Dict[str, Any]:
+        """Structured sync telemetry: protocol, totals, and per-shard
+        grant counts + granted-window-width histograms (picklable)."""
+        return {
+            "protocol": self.sync,
+            "rounds": self.rounds,
+            "grants": self.grants,
+            "null_grants": self.null_grants,
+            "payload_free_grants": self.payload_free_grants,
+            "lookahead": self.lookahead,
+            "per_shard": [
+                {
+                    "grants": self._grants_per_shard[i],
+                    "window_width": self._width_hists[i].snapshot(),
+                }
+                for i in range(self.n_shards)
+            ],
+        }
 
     def merged_trace(self) -> MergedTrace:
         """Totally-ordered merge of every shard-local trace (satellite 2)."""

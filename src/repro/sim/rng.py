@@ -28,6 +28,14 @@ class RngRegistry:
         digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
         return int.from_bytes(digest[:8], "big")
 
+    def derive_seed(self, name: str) -> int:
+        """The deterministic 64-bit seed for ``name`` — for callers that
+        want a *transient* generator (e.g. a compact per-user RNG at
+        population scale) without the registry caching a ``random.Random``
+        per name.  Same derivation as :meth:`py`/:meth:`np`, so a given
+        ``(seed, name)`` still always yields the identical sequence."""
+        return self._derive(name)
+
     def py(self, name: str) -> random.Random:
         """A ``random.Random`` dedicated to ``name``."""
         if name not in self._py:

@@ -182,3 +182,35 @@ def canonical_trace_hash(records: Iterable[TraceRecord]) -> str:
     )
     digest = hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
     return digest
+
+
+def diff_traces(a: Iterable[TraceRecord], b: Iterable[TraceRecord],
+                limit: int = 10) -> List[str]:
+    """First records present in one trace but not the other.
+
+    The debugging companion to :func:`canonical_trace_hash`: when two
+    runs that should be equivalent hash differently, this names the
+    earliest diverging records (``-`` only in ``a``, ``+`` only in ``b``)
+    instead of leaving the investigator with two opaque digests.
+    Comparison is by canonical content line, so same-time reordering —
+    the freedom the hash grants — never shows up as a difference.
+    """
+    def lines(records: Iterable[TraceRecord]) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for rec in records:
+            key = (f"{rec.time!r}|{rec.source}|{rec.kind}|"
+                   f"{_canonical_value(rec.detail)}")
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    ca, cb = lines(a), lines(b)
+    out: List[str] = []
+    for key in sorted(set(ca) | set(cb)):
+        delta = ca.get(key, 0) - cb.get(key, 0)
+        if delta > 0:
+            out.extend([f"- {key}"] * delta)
+        elif delta < 0:
+            out.extend([f"+ {key}"] * (-delta))
+        if len(out) >= limit:
+            break
+    return out[:limit]

@@ -8,6 +8,8 @@ from repro.workloads.clients import (
     user_session_workload,
 )
 from repro.workloads.population import (
+    CompactUserRng,
+    HistogramRecorder,
     PopulationProfile,
     PopulationState,
     collect_population,
@@ -18,6 +20,8 @@ from repro.workloads.population import (
 __all__ = [
     "CallRecord",
     "ChaosRunResult",
+    "CompactUserRng",
+    "HistogramRecorder",
     "PopulationProfile",
     "PopulationState",
     "closed_loop_clients",

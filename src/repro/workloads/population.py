@@ -30,6 +30,70 @@ from repro.lang import ACECmdLine
 from repro.core.client import CallError, ServiceClient
 from repro.metrics import LatencyRecorder
 from repro.net import ConnectionClosed, ConnectionRefused
+from repro.obs.registry import Histogram
+
+_MASK64 = (1 << 64) - 1
+
+
+class CompactUserRng:
+    """A per-session generator costing tens of bytes, not kilobytes.
+
+    ``random.Random`` carries a ~2.5 KB Mersenne state; one per user is
+    a quarter gigabyte at 100k users before a single event runs.  This
+    xorshift64* generator holds one 64-bit word and implements exactly
+    the draws a session FSM makes.  Seeded through
+    :meth:`~repro.sim.rng.RngRegistry.derive_seed`, so sequences stay
+    deterministic in ``(seed, stream-name)`` — just from a different
+    (documented) generator family than the standard streams, which is
+    why it is opt-in per profile (``compact_sessions``) rather than a
+    global swap that would shift every pinned trace hash.
+    """
+
+    __slots__ = ("_s",)
+
+    def __init__(self, seed: int):
+        self._s = (seed ^ 0x9E3779B97F4A7C15) & _MASK64 or 0x9E3779B97F4A7C15
+
+    def random(self) -> float:
+        """Uniform in [0, 1) with 53 random bits (xorshift64*)."""
+        s = self._s
+        s ^= s >> 12
+        s ^= (s << 25) & _MASK64
+        s ^= s >> 27
+        self._s = s
+        return (((s * 2685821657736338717) & _MASK64) >> 11) * (2.0 ** -53)
+
+    def expovariate(self, lambd: float) -> float:
+        return -math.log(1.0 - self.random()) / lambd
+
+    def randrange(self, n: int) -> int:
+        value = int(self.random() * n)
+        return value if value < n else n - 1
+
+
+class HistogramRecorder:
+    """Duck-types the slice of :class:`~repro.metrics.LatencyRecorder`
+    the population workload uses, but folds observations into a
+    fixed-bucket digest — bounded memory regardless of op count (the
+    100k rung records hundreds of thousands of latencies)."""
+
+    __slots__ = ("hist",)
+
+    def __init__(self) -> None:
+        self.hist = Histogram()
+
+    def record(self, elapsed: float) -> None:
+        self.hist.observe(float(elapsed))
+
+    @property
+    def samples(self) -> list:
+        return []
+
+    def snapshot(self) -> dict:
+        return self.hist.snapshot()
+
+    def __len__(self) -> int:
+        return self.hist.count
 
 
 @dataclass(frozen=True)
@@ -58,6 +122,16 @@ class PopulationProfile:
     # -- session behaviour ----------------------------------------------
     think_time: float = 1.0
     roam_fraction: float = 0.1
+    # -- population-scale memory trim (E30, the 100k rung) ---------------
+    #: spawn sessions from one pump process at their arrival times
+    #: instead of pre-creating every generator (and its heap entry) up
+    #: front; scheduling inside a session is unchanged
+    lazy_sessions: bool = False
+    #: compact per-user state: :class:`CompactUserRng` instead of a
+    #: cached ``random.Random`` per user, and a :class:`HistogramRecorder`
+    #: latency digest instead of raw samples.  Changes draw sequences, so
+    #: it is opt-in — default profiles stay bit-identical to E29.
+    compact_sessions: bool = False
 
     def window(self) -> float:
         return self.arrival_window if self.arrival_window is not None \
@@ -69,9 +143,14 @@ class PopulationProfile:
                 and self.flash_at <= t < self.flash_at + self.flash_duration)
 
 
-@dataclass
+@dataclass(slots=True)
 class PopulationState:
-    """Live bookkeeping for one shard's slice of the population."""
+    """Live bookkeeping for one shard's slice of the population.
+
+    Slotted: one instance exists per shard, but sessions touch it on
+    every op, and ``__slots__`` keeps the attribute access on the 100k
+    hot path dict-free (and documents the full field set).
+    """
 
     profile: PopulationProfile
     t0: float                     # sim time the workload started
@@ -195,7 +274,12 @@ def _session(env, state: PopulationState, uid: int, region,
     profile = state.profile
     regions = env.campus_regions
     yield sim.timeout(max(0.0, start_at - sim.now))
-    rng = env.rng.py(f"population.user.{uid}")
+    if profile.compact_sessions:
+        # transient + tiny: nothing is cached registry-side, and the
+        # state is one machine word instead of a Mersenne table
+        rng = CompactUserRng(env.rng.derive_seed(f"population.user.{uid}"))
+    else:
+        rng = env.rng.py(f"population.user.{uid}")
     host = env.net.host(region.client_host)
     client = ServiceClient(env.ctx, host, principal=f"pop-{uid}")
     state.sessions_started += 1
@@ -240,28 +324,60 @@ def start_population(env, shard, *, profile: PopulationProfile) -> int:
     state = PopulationState(
         profile=profile, t0=t0, end_at=t0 + profile.duration,
         schedule_len=len(schedule),
+        ops=(HistogramRecorder() if profile.compact_sessions
+             else LatencyRecorder()),
     )
     env.population = state
+    owned = []
     for t, uid in schedule:
         region = regions[home_region(uid, len(regions))]
         if shard is not None and not shard.owns(region.client_host):
             continue
-        env.sim.process(
-            _session(env, state, uid, region, t0 + t, state.end_at),
-            name=f"pop-{uid}",
-        )
-        state.sessions_spawned += 1
+        owned.append((t, uid, region))
+    state.sessions_spawned = len(owned)
+    if profile.lazy_sessions:
+        env.sim.process(_session_pump(env, state, owned, t0), name="pop-pump")
+    else:
+        for t, uid, region in owned:
+            env.sim.process(
+                _session(env, state, uid, region, t0 + t, state.end_at),
+                name=f"pop-{uid}",
+            )
     return state.sessions_spawned
 
 
+def _session_pump(env, state: PopulationState, arrivals, t0: float) -> Generator:
+    """Spawn sessions at their arrival times (``lazy_sessions``).
+
+    Pre-creating 100k generators parks 100k frames and heap entries in
+    the kernel before the first user even arrives; the pump walks the
+    (time-sorted) arrival list and materializes each session only when
+    its start time comes due.  Event timing inside a session is
+    identical — ``_session`` still anchors on its absolute ``start_at``.
+    """
+    sim = env.sim
+    for t, uid, region in arrivals:
+        start_at = t0 + t
+        if start_at > sim.now:
+            yield sim.timeout(start_at - sim.now)
+        sim.process(
+            _session(env, state, uid, region, start_at, state.end_at),
+            name=f"pop-{uid}",
+        )
+
+
 def collect_population(env, shard=None) -> dict:
-    """Gather one shard's population results as a picklable dict."""
+    """Gather one shard's population results as a picklable dict.
+
+    Compact profiles carry no raw samples; their latency digest comes
+    back under ``latency`` instead (fixed-bucket percentiles).
+    """
     state = getattr(env, "population", None)
     if state is None:
         return {"ops": 0, "sessions_spawned": 0, "sessions_started": 0,
                 "sessions_finished": 0, "errors": 0, "roams": 0,
                 "schedule_len": 0, "samples": []}
-    return {
+    out = {
         "ops": len(state.ops),
         "sessions_spawned": state.sessions_spawned,
         "sessions_started": state.sessions_started,
@@ -271,3 +387,6 @@ def collect_population(env, shard=None) -> dict:
         "schedule_len": state.schedule_len,
         "samples": list(state.ops.samples),
     }
+    if isinstance(state.ops, HistogramRecorder):
+        out["latency"] = state.ops.snapshot()
+    return out
